@@ -1,0 +1,94 @@
+// Figure 1 reproduction: the paper's worked example of the SBP
+// constructions on a 4-vertex graph (V1,V2,V3 a triangle, V4 attached to
+// V3). For each construction we enumerate every proper color assignment
+// with K = 4 and report which survive — the machine-checked version of
+// the figure's hand-drawn permitted/forbidden colorings.
+
+#include <cstdio>
+#include <vector>
+
+#include "coloring/encoder.h"
+#include "pb/optimizer.h"
+#include "support.h"
+
+using namespace symcolor;
+using namespace symcolor::bench;
+
+namespace {
+
+Graph figure1_graph() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  return g;
+}
+
+bool permitted(const Graph& g, int k, const SbpOptions& sbps,
+               const std::vector<int>& colors) {
+  ColoringEncoding enc = encode_k_coloring(g, k, sbps);
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    enc.formula.add_unit(
+        Lit::positive(enc.x(i, colors[static_cast<std::size_t>(i)])));
+  }
+  return solve_decision(enc.formula, {}, {}).status == OptStatus::Optimal;
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = figure1_graph();
+  const int k = 4;
+  std::printf("Figure 1: instance-independent SBPs on the worked example\n");
+  std::printf("(V1V2V3 triangle + pendant V4; colors 1..4 shown 1-based "
+              "like the paper)\n\n");
+
+  const auto rows = paper_sbp_rows();
+  TablePrinter table({16, 9, 9, 9, 9, 9, 9, 9});
+  {
+    std::vector<std::string> header{"assignment"};
+    for (const SbpOptions& r : rows) {
+      header.push_back(r.any() ? r.label() : "none");
+    }
+    table.row(header);
+  }
+  table.rule();
+
+  std::vector<int> totals(rows.size(), 0);
+  std::vector<int> colors(4, 0);
+  for (;;) {
+    if (g.is_proper_coloring(colors)) {
+      std::vector<std::string> cells;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "(%d,%d,%d,%d)", colors[0] + 1,
+                    colors[1] + 1, colors[2] + 1, colors[3] + 1);
+      cells.emplace_back(buf);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const bool ok = permitted(g, k, rows[r], colors);
+        cells.emplace_back(ok ? "yes" : "-");
+        if (ok) ++totals[r];
+      }
+      table.row(cells);
+    }
+    int i = 0;
+    while (i < 4 && ++colors[static_cast<std::size_t>(i)] == k) {
+      colors[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == 4) break;
+  }
+  table.rule();
+  {
+    std::vector<std::string> cells{"permitted"};
+    for (const int t : totals) cells.push_back(std::to_string(t));
+    table.row(cells);
+  }
+  std::printf(
+      "\nPaper checkpoints: (1,3,4,*) banned by NU but (1,2,3,*) kept\n"
+      "[Fig 1(c)]; CA pins the size-2 class on color 1 [Fig 1(d)]; LI\n"
+      "keeps exactly one assignment per partition [Fig 1(e)]; SC pins V3\n"
+      "to color 1 and V1 to color 2.\n");
+  return 0;
+}

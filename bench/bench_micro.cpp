@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) for the hot substrates: encoding,
+// CDCL propagation/solving, partition refinement, automorphism search,
+// clique and heuristic coloring. These track the per-component costs
+// behind the table benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "automorphism/refinement.h"
+#include "automorphism/search.h"
+#include "coloring/dsatur_bnb.h"
+#include "coloring/encoder.h"
+#include "coloring/heuristics.h"
+#include "graph/clique.h"
+#include "graph/generators.h"
+#include "pb/optimizer.h"
+#include "pb/solver_profiles.h"
+#include "sat/cdcl.h"
+#include "symmetry/formula_graph.h"
+#include "symmetry/shatter.h"
+
+namespace symcolor {
+namespace {
+
+void BM_EncodeColoring(benchmark::State& state) {
+  const Graph g = make_random_gnm(125, 736, 0xD51);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_coloring(g, k));
+  }
+}
+BENCHMARK(BM_EncodeColoring)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_EncodeWithLi(benchmark::State& state) {
+  const Graph g = make_random_gnm(125, 736, 0xD51);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encode_coloring(g, 20, SbpOptions::li_only()));
+  }
+}
+BENCHMARK(BM_EncodeWithLi);
+
+void BM_CdclQueenDecision(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_k_coloring(g, 5, SbpOptions::nu_sc());
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, profile_config(SolverKind::PbsII));
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CdclQueenDecision);
+
+void BM_MinimizeMyciel(benchmark::State& state) {
+  const Graph g = make_myciel_dimacs(static_cast<int>(state.range(0)));
+  const ColoringEncoding enc = encode_coloring(g, 8, SbpOptions::nu_sc());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimize_linear(
+        enc.formula, profile_config(SolverKind::PbsII), Deadline(30.0)));
+  }
+}
+BENCHMARK(BM_MinimizeMyciel)->Arg(3)->Arg(4);
+
+void BM_PartitionRefinement(benchmark::State& state) {
+  const Graph g = make_random_gnm(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(0)) * 8, 7);
+  for (auto _ : state) {
+    OrderedPartition p(g.num_vertices(), {});
+    std::vector<int> worklist{0};
+    benchmark::DoNotOptimize(p.refine(g, worklist));
+  }
+}
+BENCHMARK(BM_PartitionRefinement)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_AutomorphismQueen(benchmark::State& state) {
+  const Graph g = make_queen_graph(6, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_automorphisms(g));
+  }
+}
+BENCHMARK(BM_AutomorphismQueen);
+
+void BM_FormulaGraphBuild(benchmark::State& state) {
+  const Graph g = make_random_gnm(125, 736, 0xD51);
+  const ColoringEncoding enc = encode_coloring(g, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_formula_graph(enc.formula));
+  }
+}
+BENCHMARK(BM_FormulaGraphBuild);
+
+void BM_ShatterMyciel(benchmark::State& state) {
+  const Graph g = make_myciel_dimacs(4);
+  for (auto _ : state) {
+    ColoringEncoding enc = encode_coloring(g, 10);
+    benchmark::DoNotOptimize(shatter(enc.formula, Deadline(10.0)));
+  }
+}
+BENCHMARK(BM_ShatterMyciel);
+
+void BM_GreedyClique(benchmark::State& state) {
+  const Graph g = make_random_gnm(200, 4000, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_clique(g));
+  }
+}
+BENCHMARK(BM_GreedyClique);
+
+void BM_DsaturHeuristic(benchmark::State& state) {
+  const Graph g = make_random_gnm(200, 4000, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsatur_coloring(g));
+  }
+}
+BENCHMARK(BM_DsaturHeuristic);
+
+void BM_DsaturBnbQueen55(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsatur_branch_and_bound(g));
+  }
+}
+BENCHMARK(BM_DsaturBnbQueen55);
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,24 @@
+// Table 4 reproduction: the Table 3 cross product re-run with color
+// limit K = 30 (larger and harder instances; the paper uses it to
+// confirm that the K = 20 trends are not an artifact of the limit).
+
+#include <cstdio>
+
+#include "support.h"
+#include "table_runner.h"
+
+using namespace symcolor;
+using namespace symcolor::bench;
+
+int main() {
+  Budgets budgets = load_budgets();
+  budgets.max_colors = 30;  // Table 4 fixes K = 30 (SYMCOLOR_K ignored)
+  std::printf("Table 4: solver x SBP cross product, K = %d\n",
+              budgets.max_colors);
+  run_summary_table(dimacs_suite(), budgets);
+  std::printf(
+      "Paper shape (Table 4): same trends as Table 3 with fewer instances\n"
+      "solved overall — the K = 30 encodings are larger, and proving\n"
+      "optimality near 30 colors is harder than refuting 20.\n");
+  return 0;
+}

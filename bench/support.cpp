@@ -1,0 +1,85 @@
+#include "support.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/text.h"
+
+namespace symcolor::bench {
+
+namespace {
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+int env_int(const char* name, int fallback) {
+  return static_cast<int>(env_double(name, fallback));
+}
+}  // namespace
+
+Budgets load_budgets() {
+  Budgets budgets;
+  const char* full = std::getenv("SYMCOLOR_FULL");
+  if (full != nullptr && full[0] == '1') {
+    budgets.solve_seconds = 1000.0;
+    budgets.detect_seconds = 60.0;
+  }
+  budgets.solve_seconds = env_double("SYMCOLOR_TIMEOUT", budgets.solve_seconds);
+  budgets.detect_seconds =
+      env_double("SYMCOLOR_DETECT_TIMEOUT", budgets.detect_seconds);
+  budgets.max_colors = env_int("SYMCOLOR_K", budgets.max_colors);
+  return budgets;
+}
+
+RunOutcome run_instance(const Graph& graph, const SbpOptions& sbps,
+                        bool instance_dependent, SolverKind solver,
+                        const Budgets& budgets) {
+  ColoringOptions options;
+  options.max_colors = budgets.max_colors;
+  options.sbps = sbps;
+  options.instance_dependent_sbps = instance_dependent;
+  options.solver = solver;
+  options.time_budget_seconds = budgets.solve_seconds;
+
+  RunOutcome outcome;
+  outcome.detail = solve_coloring(graph, options);
+  outcome.solved = outcome.detail.solved();
+  outcome.seconds = outcome.detail.total_seconds;
+  outcome.num_colors =
+      outcome.detail.status == OptStatus::Optimal ? outcome.detail.num_colors
+                                                  : -1;
+  return outcome;
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) const {
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::rule() const {
+  int total = 0;
+  for (const int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+std::string time_cell(double seconds, bool solved) {
+  return format_seconds(seconds, !solved);
+}
+
+double log10_sum(const std::vector<double>& log10_values) {
+  if (log10_values.empty()) return 0.0;
+  double max_log = log10_values.front();
+  for (const double v : log10_values) max_log = std::max(max_log, v);
+  double sum = 0.0;
+  for (const double v : log10_values) sum += std::pow(10.0, v - max_log);
+  return max_log + std::log10(sum);
+}
+
+}  // namespace symcolor::bench

@@ -1,0 +1,63 @@
+#pragma once
+// Shared driver for the Table 3 / Table 4 / Table 5 experiments: the full
+// cross product of SBP constructions x {without, with} instance-dependent
+// SBPs x solver personalities over an instance list.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support.h"
+#include "util/text.h"
+
+namespace symcolor::bench {
+
+struct CrossResult {
+  int solved = 0;
+  double total_seconds = 0.0;
+};
+
+/// Run every instance under one configuration; timeouts contribute their
+/// budget to the total, like the paper's summed runtimes.
+inline CrossResult run_config(const std::vector<Instance>& suite,
+                              const SbpOptions& sbps, bool instance_dependent,
+                              SolverKind solver, const Budgets& budgets) {
+  CrossResult result;
+  for (const Instance& inst : suite) {
+    const RunOutcome outcome =
+        run_instance(inst.graph, sbps, instance_dependent, solver, budgets);
+    if (outcome.solved) ++result.solved;
+    result.total_seconds += outcome.seconds;
+  }
+  return result;
+}
+
+/// Print the summed-runtime table (paper Tables 3 and 4).
+inline void run_summary_table(const std::vector<Instance>& suite,
+                              const Budgets& budgets) {
+  std::printf("(per-solve budget %.1fs; K = %d; %zu instances; "
+              "Tm = summed seconds, #S = instances solved)\n\n",
+              budgets.solve_seconds, budgets.max_colors, suite.size());
+
+  TablePrinter table({10, 12, 6, 12, 6});
+  for (const SolverKind solver : kTableSolvers) {
+    std::printf("== solver: %s ==\n", solver_name(solver).c_str());
+    table.row({"SBP", "Orig Tm", "#S", "w/i-d Tm", "#S"});
+    table.rule();
+    for (const SbpOptions& sbps : paper_sbp_rows()) {
+      const CrossResult orig =
+          run_config(suite, sbps, /*instance_dependent=*/false, solver, budgets);
+      const CrossResult with_sbps =
+          run_config(suite, sbps, /*instance_dependent=*/true, solver, budgets);
+      table.row({sbps.any() ? sbps.label() : "no SBPs",
+                 format_seconds(orig.total_seconds),
+                 std::to_string(orig.solved),
+                 format_seconds(with_sbps.total_seconds),
+                 std::to_string(with_sbps.solved)});
+    }
+    table.rule();
+    std::printf("\n");
+  }
+}
+
+}  // namespace symcolor::bench

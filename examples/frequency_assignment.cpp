@@ -1,0 +1,86 @@
+// Radio frequency assignment via graph coloring (paper Section 2.1).
+//
+// Each geographic region needs a number of frequencies; it becomes a
+// clique of that size. Adjacent regions may not share frequencies, so
+// all bipartite edges are added between their cliques — exactly the
+// reduction the paper describes, including its warning that the
+// construction itself introduces extra instance-independent symmetries
+// (the vertices inside a region's clique are interchangeable). We verify
+// that claim by measuring the symmetry group of the encoded instance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "coloring/exact_colorer.h"
+
+using namespace symcolor;
+
+namespace {
+
+struct Region {
+  std::string name;
+  int frequencies = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Region> regions{
+      {"North", 3}, {"East", 2}, {"South", 3}, {"West", 2}, {"Center", 4}};
+  // Adjacency between regions (Center touches everything; the ring
+  // touches its neighbours).
+  const std::vector<std::pair<int, int>> adjacent{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}, {1, 4}, {2, 4}, {3, 4}};
+
+  // Reduction: one vertex per needed frequency, region-internal cliques,
+  // full bipartite edges between adjacent regions.
+  std::vector<int> first(regions.size() + 1, 0);
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    first[r + 1] = first[r] + regions[r].frequencies;
+  }
+  Graph g(first.back());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (int a = first[r]; a < first[r + 1]; ++a) {
+      for (int b = a + 1; b < first[r + 1]; ++b) g.add_edge(a, b);
+    }
+  }
+  for (const auto& [r1, r2] : adjacent) {
+    for (int a = first[static_cast<std::size_t>(r1)];
+         a < first[static_cast<std::size_t>(r1) + 1]; ++a) {
+      for (int b = first[static_cast<std::size_t>(r2)];
+           b < first[static_cast<std::size_t>(r2) + 1]; ++b) {
+        g.add_edge(a, b);
+      }
+    }
+  }
+  g.finalize();
+  std::printf("reduction: %d frequency slots, %d interference edges\n",
+              g.num_vertices(), g.num_edges());
+
+  ColoringOptions options;
+  options.max_colors = 12;
+  options.sbps = SbpOptions::nu_sc();
+  options.instance_dependent_sbps = true;
+  const ColoringOutcome result = solve_coloring(g, options);
+  if (result.status != OptStatus::Optimal) {
+    std::printf("no assignment within %d frequencies\n", options.max_colors);
+    return 1;
+  }
+  std::printf("minimum spectrum: %d frequencies\n", result.num_colors);
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    std::printf("  %-7s:", regions[r].name.c_str());
+    for (int v = first[r]; v < first[r + 1]; ++v) {
+      std::printf(" f%d", result.coloring[static_cast<std::size_t>(v)] + 1);
+    }
+    std::printf("\n");
+  }
+  if (result.symmetry) {
+    std::printf(
+        "symmetry group of the encoded instance: 10^%.1f —\n"
+        "color permutations times the within-region vertex symmetries the\n"
+        "reduction introduced, all broken before solving (paper Section 3).\n",
+        result.symmetry->log10_order);
+  }
+  return 0;
+}

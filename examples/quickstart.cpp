@@ -1,0 +1,53 @@
+// Quickstart: color a graph optimally in a dozen lines.
+//
+// Builds the Petersen graph, asks the exact colorer for its chromatic
+// number (with the paper's best-performing configuration: selective
+// coloring plus instance-dependent symmetry breaking), and prints the
+// coloring.
+
+#include <cstdio>
+
+#include "coloring/exact_colorer.h"
+
+using namespace symcolor;
+
+int main() {
+  // The Petersen graph: outer 5-cycle, inner pentagram, spokes.
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);
+    g.add_edge(5 + i, 5 + (i + 2) % 5);
+    g.add_edge(i, 5 + i);
+  }
+  g.finalize();
+
+  ColoringOptions options;
+  options.max_colors = 6;                  // upper bound on colors to try
+  options.sbps = SbpOptions::sc_only();    // instance-independent SBPs
+  options.instance_dependent_sbps = true;  // Shatter flow
+  options.solver = SolverKind::PbsII;
+
+  const ColoringOutcome result = solve_coloring(g, options);
+  if (result.status != OptStatus::Optimal) {
+    std::printf("no optimal coloring found within the bound\n");
+    return 1;
+  }
+  std::printf("chromatic number: %d\n", result.num_colors);
+  std::printf("coloring:");
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::printf(" v%d=%d", v, result.coloring[static_cast<std::size_t>(v)]);
+  }
+  std::printf("\n");
+  std::printf("formula: %d vars, %d clauses, %d PB constraints\n",
+              result.formula_vars, result.formula_clauses, result.formula_pb);
+  if (result.symmetry) {
+    std::printf("symmetries detected: 10^%.1f (in %d generators)\n",
+                result.symmetry->log10_order,
+                static_cast<int>(result.symmetry->generators.size()));
+  }
+  std::printf("solved in %.3f s (%lld conflicts, %lld decisions)\n",
+              result.total_seconds,
+              static_cast<long long>(result.solver_stats.conflicts),
+              static_cast<long long>(result.solver_stats.decisions));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Walkthrough of the paper's Figure 1: how each instance-independent SBP
+// construction filters the color assignments of a 4-vertex example.
+//
+// Prints, for a handful of assignments highlighted in the figure, which
+// constructions permit them and why — a narrative companion to
+// bench_figure1's exhaustive table.
+
+#include <cstdio>
+#include <vector>
+
+#include "coloring/encoder.h"
+#include "coloring/sbp.h"
+#include "pb/optimizer.h"
+
+using namespace symcolor;
+
+namespace {
+
+Graph figure1_graph() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  return g;
+}
+
+bool permitted(const Graph& g, const SbpOptions& sbps,
+               const std::vector<int>& colors) {
+  ColoringEncoding enc = encode_k_coloring(g, 4, sbps);
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    enc.formula.add_unit(
+        Lit::positive(enc.x(i, colors[static_cast<std::size_t>(i)])));
+  }
+  return solve_decision(enc.formula, {}, {}).status == OptStatus::Optimal;
+}
+
+void show(const Graph& g, const char* label, const std::vector<int>& colors) {
+  std::printf("%-34s NU=%-3s CA=%-3s LI=%-3s SC=%s\n", label,
+              permitted(g, SbpOptions::nu_only(), colors) ? "ok" : "ban",
+              permitted(g, SbpOptions::ca_only(), colors) ? "ok" : "ban",
+              permitted(g, SbpOptions::li_only(), colors) ? "ok" : "ban",
+              permitted(g, SbpOptions::sc_only(), colors) ? "ok" : "ban");
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = figure1_graph();
+  std::printf(
+      "Figure 1 graph: V1-V2-V3 triangle, V4 attached to V3.\n"
+      "Assignments written (V1,V2,V3,V4) with 1-based colors.\n\n");
+
+  std::printf("The two 3-class partitions: {V1,V4}{V2}{V3} and "
+              "{V1}{V2,V4}{V3}.\n\n");
+
+  show(g, "(1,2,3,1)  canonical, partition A", {0, 1, 2, 0});
+  show(g, "(1,3,2,1)  colors 2,3 swapped", {0, 2, 1, 0});
+  show(g, "(1,3,4,1)  uses a gap (no color 2)", {0, 2, 3, 0});
+  show(g, "(3,1,2,3)  big class on color 3", {2, 0, 1, 2});
+  show(g, "(1,2,3,2)  canonical, partition B", {0, 1, 2, 1});
+  show(g, "(2,3,1,3)  V3 on color 1 (SC pin)", {1, 2, 0, 2});
+
+  std::printf(
+      "\nReading the columns:\n"
+      " NU bans only the gap assignment (null color 2 before used 3/4).\n"
+      " CA additionally pins the size-2 class on color 1.\n"
+      " LI keeps exactly one assignment per partition — the one whose\n"
+      "    lowest vertex indices ascend with the color number.\n"
+      " SC pins V3 (max degree) on color 1 and V1 on color 2, so only\n"
+      "    assignments of the last row's shape survive it.\n");
+  return 0;
+}

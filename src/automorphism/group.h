@@ -1,0 +1,64 @@
+#pragma once
+// Permutation groups via deterministic Schreier-Sims.
+//
+// Used to answer membership queries and compute exact group orders from a
+// set of generators. The transversals are stored as explicit permutations,
+// which is simple and fast for the small-degree groups exercised in tests
+// and validation; the production group-order figure reported by the
+// automorphism search itself is computed from first-path orbit sizes
+// (Nauty's method) and cross-checked against this class in the test suite.
+
+#include <span>
+#include <vector>
+
+#include "automorphism/perm.h"
+
+namespace symcolor {
+
+class PermGroup {
+ public:
+  explicit PermGroup(int degree);
+
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+  /// Incorporate a generator. No-op for the identity or members.
+  void add_generator(const Perm& g);
+
+  /// Membership test by sifting.
+  [[nodiscard]] bool contains(std::span<const int> p) const;
+
+  /// Exact order as long double (exact for orders < ~1e18, and a good
+  /// floating approximation beyond).
+  [[nodiscard]] long double order() const;
+
+  /// log10 of the group order (0.0 for the trivial group).
+  [[nodiscard]] double log10_order() const;
+
+  /// Orbit of a point under the whole group.
+  [[nodiscard]] std::vector<int> orbit_of(int point) const;
+
+  [[nodiscard]] const std::vector<Perm>& generators() const noexcept {
+    return gens_;
+  }
+
+ private:
+  struct Level {
+    int base_point = -1;
+    std::vector<Perm> gens;            // strong generators for this level
+    std::vector<int> orbit;            // points reachable from base_point
+    std::vector<Perm> transversal;     // indexed like orbit_index_
+    std::vector<int> orbit_index_of;   // point -> index into orbit, or -1
+  };
+
+  /// Sift p through the chain; returns the residue and the level at which
+  /// sifting stopped (== levels_.size() if fully sifted to identity).
+  [[nodiscard]] std::pair<Perm, std::size_t> sift(Perm p) const;
+
+  void rebuild_orbit(std::size_t level);
+
+  int degree_;
+  std::vector<Level> levels_;
+  std::vector<Perm> gens_;  // original generators as given
+};
+
+}  // namespace symcolor

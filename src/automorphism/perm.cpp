@@ -1,0 +1,89 @@
+#include "automorphism/perm.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace symcolor {
+
+Perm identity_perm(int n) {
+  Perm p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+bool is_permutation(std::span<const int> p) {
+  const int n = static_cast<int>(p.size());
+  std::vector<char> seen(p.size(), 0);
+  for (const int image : p) {
+    if (image < 0 || image >= n || seen[static_cast<std::size_t>(image)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(image)] = 1;
+  }
+  return true;
+}
+
+bool is_identity(std::span<const int> p) {
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+Perm compose(std::span<const int> a, std::span<const int> b) {
+  Perm result(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    result[i] = b[static_cast<std::size_t>(a[i])];
+  }
+  return result;
+}
+
+Perm inverse(std::span<const int> p) {
+  Perm result(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    result[static_cast<std::size_t>(p[i])] = static_cast<int>(i);
+  }
+  return result;
+}
+
+std::vector<int> support(std::span<const int> p) {
+  std::vector<int> moved;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] != static_cast<int>(i)) moved.push_back(static_cast<int>(i));
+  }
+  return moved;
+}
+
+std::vector<std::vector<int>> cycles(std::span<const int> p) {
+  std::vector<std::vector<int>> result;
+  std::vector<char> seen(p.size(), 0);
+  for (std::size_t start = 0; start < p.size(); ++start) {
+    if (seen[start] || p[start] == static_cast<int>(start)) continue;
+    std::vector<int> cycle;
+    int x = static_cast<int>(start);
+    do {
+      cycle.push_back(x);
+      seen[static_cast<std::size_t>(x)] = 1;
+      x = p[static_cast<std::size_t>(x)];
+    } while (x != static_cast<int>(start));
+    result.push_back(std::move(cycle));
+  }
+  return result;
+}
+
+long long perm_order(std::span<const int> p) {
+  long long order = 1;
+  for (const auto& cycle : cycles(p)) {
+    const long long len = static_cast<long long>(cycle.size());
+    const long long g = std::gcd(order, len);
+    const long long factor = len / g;
+    if (order > std::numeric_limits<long long>::max() / factor) {
+      return std::numeric_limits<long long>::max();
+    }
+    order *= factor;
+  }
+  return order;
+}
+
+}  // namespace symcolor

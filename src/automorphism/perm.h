@@ -1,0 +1,38 @@
+#pragma once
+// Permutations on 0..n-1 represented as image vectors: p[i] is the image
+// of point i. Free functions only; a permutation is just data.
+
+#include <span>
+#include <vector>
+
+namespace symcolor {
+
+using Perm = std::vector<int>;
+
+/// The identity permutation on n points.
+Perm identity_perm(int n);
+
+/// True if `p` is a valid permutation (a bijection on 0..n-1).
+bool is_permutation(std::span<const int> p);
+
+/// True if p[i] == i for all i.
+bool is_identity(std::span<const int> p);
+
+/// Composition (a then b): result[i] = b[a[i]].
+Perm compose(std::span<const int> a, std::span<const int> b);
+
+/// Inverse permutation.
+Perm inverse(std::span<const int> p);
+
+/// Points moved by p, ascending.
+std::vector<int> support(std::span<const int> p);
+
+/// Cycle decomposition, fixed points omitted; each cycle starts with its
+/// smallest element and cycles are ordered by that element.
+std::vector<std::vector<int>> cycles(std::span<const int> p);
+
+/// Order of the permutation (lcm of cycle lengths), capped at
+/// std::numeric_limits<long long>::max() via saturation.
+long long perm_order(std::span<const int> p);
+
+}  // namespace symcolor

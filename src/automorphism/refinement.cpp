@@ -1,0 +1,245 @@
+#include "automorphism/refinement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace symcolor {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+OrderedPartition::OrderedPartition(int n, std::span<const int> colors) {
+  if (!colors.empty() && static_cast<int>(colors.size()) != n) {
+    throw std::invalid_argument("color vector size mismatch");
+  }
+  elements_.resize(static_cast<std::size_t>(n));
+  std::iota(elements_.begin(), elements_.end(), 0);
+  if (!colors.empty()) {
+    std::stable_sort(elements_.begin(), elements_.end(), [&](int a, int b) {
+      return colors[static_cast<std::size_t>(a)] <
+             colors[static_cast<std::size_t>(b)];
+    });
+  }
+  position_.resize(static_cast<std::size_t>(n));
+  cell_of_.resize(static_cast<std::size_t>(n));
+  count_.assign(static_cast<std::size_t>(n), 0);
+
+  int start = 0;
+  while (start < n) {
+    int end = start + 1;
+    if (!colors.empty()) {
+      const int c = colors[static_cast<std::size_t>(elements_[static_cast<std::size_t>(start)])];
+      while (end < n &&
+             colors[static_cast<std::size_t>(elements_[static_cast<std::size_t>(end)])] == c) {
+        ++end;
+      }
+    } else {
+      end = n;
+    }
+    const int id = static_cast<int>(cells_.size());
+    cells_.push_back({start, end - start});
+    live_.push_back(1);
+    ++num_cells_;
+    for (int i = start; i < end; ++i) {
+      const int v = elements_[static_cast<std::size_t>(i)];
+      position_[static_cast<std::size_t>(v)] = i;
+      cell_of_[static_cast<std::size_t>(v)] = id;
+    }
+    start = end;
+  }
+}
+
+int OrderedPartition::target_cell() const {
+  int best = -1;
+  for (int id = 0; id < num_cell_slots(); ++id) {
+    if (!cell_live(id)) continue;
+    const Cell& c = cells_[static_cast<std::size_t>(id)];
+    if (c.size <= 1) continue;
+    if (best < 0 || c.size < cells_[static_cast<std::size_t>(best)].size ||
+        (c.size == cells_[static_cast<std::size_t>(best)].size &&
+         c.start < cells_[static_cast<std::size_t>(best)].start)) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+int OrderedPartition::individualize(int vertex) {
+  const int old_id = cell_of_[static_cast<std::size_t>(vertex)];
+  Cell old_cell = cells_[static_cast<std::size_t>(old_id)];
+  assert(old_cell.size > 1);
+
+  // Swap the vertex to the front of its cell's range.
+  const int pos = position_[static_cast<std::size_t>(vertex)];
+  const int front = old_cell.start;
+  const int other = elements_[static_cast<std::size_t>(front)];
+  std::swap(elements_[static_cast<std::size_t>(pos)],
+            elements_[static_cast<std::size_t>(front)]);
+  position_[static_cast<std::size_t>(vertex)] = front;
+  position_[static_cast<std::size_t>(other)] = pos;
+
+  live_[static_cast<std::size_t>(old_id)] = 0;
+  const int singleton_id = static_cast<int>(cells_.size());
+  cells_.push_back({old_cell.start, 1});
+  live_.push_back(1);
+  const int rest_id = static_cast<int>(cells_.size());
+  cells_.push_back({old_cell.start + 1, old_cell.size - 1});
+  live_.push_back(1);
+  ++num_cells_;  // one cell became two
+
+  cell_of_[static_cast<std::size_t>(vertex)] = singleton_id;
+  for (int i = old_cell.start + 1; i < old_cell.start + old_cell.size; ++i) {
+    cell_of_[static_cast<std::size_t>(elements_[static_cast<std::size_t>(i)])] =
+        rest_id;
+  }
+  return singleton_id;
+}
+
+int OrderedPartition::split_cell_by_count(int cell_id,
+                                          std::vector<int>* new_cells,
+                                          std::uint64_t* trace) {
+  const Cell cell = cells_[static_cast<std::size_t>(cell_id)];
+  auto begin = elements_.begin() + cell.start;
+  auto end = begin + cell.size;
+  // Group members by their neighbour count in the splitter.
+  std::sort(begin, end, [&](int a, int b) {
+    if (count_[static_cast<std::size_t>(a)] != count_[static_cast<std::size_t>(b)]) {
+      return count_[static_cast<std::size_t>(a)] < count_[static_cast<std::size_t>(b)];
+    }
+    return a < b;  // deterministic within equal counts (any order is fine)
+  });
+
+  // Detect group boundaries.
+  new_cells->clear();
+  int group_start = cell.start;
+  int largest = -1;
+  int largest_size = 0;
+  for (int i = cell.start; i < cell.start + cell.size; ++i) {
+    const bool last = (i + 1 == cell.start + cell.size);
+    const std::int64_t c =
+        count_[static_cast<std::size_t>(elements_[static_cast<std::size_t>(i)])];
+    const std::int64_t next_c =
+        last ? -1
+             : count_[static_cast<std::size_t>(
+                   elements_[static_cast<std::size_t>(i + 1)])];
+    if (last || c != next_c) {
+      const int group_size = i + 1 - group_start;
+      if (group_start == cell.start && last) {
+        // Single group: no split; positions may have been permuted though.
+        for (int j = cell.start; j < cell.start + cell.size; ++j) {
+          position_[static_cast<std::size_t>(
+              elements_[static_cast<std::size_t>(j)])] = j;
+        }
+        return 0;
+      }
+      const int id = static_cast<int>(cells_.size());
+      cells_.push_back({group_start, group_size});
+      live_.push_back(1);
+      new_cells->push_back(id);
+      *trace = mix(*trace, static_cast<std::uint64_t>(c) * 1315423911ULL +
+                               static_cast<std::uint64_t>(group_size));
+      if (group_size > largest_size) {
+        largest_size = group_size;
+        largest = id;
+      }
+      group_start = i + 1;
+    }
+  }
+
+  // Commit the split: retire the parent, relabel members.
+  live_[static_cast<std::size_t>(cell_id)] = 0;
+  num_cells_ += static_cast<int>(new_cells->size()) - 1;
+  for (const int id : *new_cells) {
+    const Cell& c = cells_[static_cast<std::size_t>(id)];
+    for (int i = c.start; i < c.start + c.size; ++i) {
+      const int v = elements_[static_cast<std::size_t>(i)];
+      position_[static_cast<std::size_t>(v)] = i;
+      cell_of_[static_cast<std::size_t>(v)] = id;
+    }
+  }
+  *trace = mix(*trace, static_cast<std::uint64_t>(cell_id));
+  return largest;
+}
+
+std::uint64_t OrderedPartition::refine(const Graph& graph,
+                                       std::vector<int> worklist) {
+  std::uint64_t trace = 0x51CA9D;
+  std::vector<char> on_worklist(live_.size(), 0);
+  for (const int id : worklist) {
+    if (id >= 0 && id < static_cast<int>(on_worklist.size())) {
+      on_worklist[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+  std::vector<int> splitter_elements;
+  std::vector<int> new_cells;
+
+  std::size_t head = 0;
+  while (head < worklist.size()) {
+    const int splitter = worklist[head++];
+    if (splitter >= static_cast<int>(live_.size())) continue;
+    on_worklist[static_cast<std::size_t>(splitter)] = 0;
+    if (!live_[static_cast<std::size_t>(splitter)]) continue;
+    if (discrete()) break;
+
+    splitter_elements.assign(cell_elements(splitter).begin(),
+                             cell_elements(splitter).end());
+
+    // Count neighbours in the splitter; remember touched cells.
+    touched_.clear();
+    for (const int u : splitter_elements) {
+      for (const int w : graph.neighbors(u)) {
+        if (count_[static_cast<std::size_t>(w)] == 0) {
+          const int c = cell_of_[static_cast<std::size_t>(w)];
+          if (touched_.empty() || std::find(touched_.begin(), touched_.end(),
+                                            c) == touched_.end()) {
+            touched_.push_back(c);
+          }
+        }
+        ++count_[static_cast<std::size_t>(w)];
+      }
+    }
+    std::sort(touched_.begin(), touched_.end());
+
+    for (const int cell_id : touched_) {
+      if (!live_[static_cast<std::size_t>(cell_id)]) continue;
+      if (cells_[static_cast<std::size_t>(cell_id)].size == 1) continue;
+      const int largest = split_cell_by_count(cell_id, &new_cells, &trace);
+      if (new_cells.empty()) continue;
+      on_worklist.resize(live_.size(), 0);
+      const bool parent_queued =
+          cell_id < static_cast<int>(on_worklist.size()) &&
+          on_worklist[static_cast<std::size_t>(cell_id)] != 0;
+      if (parent_queued) on_worklist[static_cast<std::size_t>(cell_id)] = 0;
+      for (const int id : new_cells) {
+        // Hopcroft's trick: when the parent was not pending, the largest
+        // part can be skipped as a future splitter.
+        if (!parent_queued && id == largest) continue;
+        worklist.push_back(id);
+        on_worklist[static_cast<std::size_t>(id)] = 1;
+      }
+    }
+
+    // Clear scratch counts.
+    for (const int u : splitter_elements) {
+      for (const int w : graph.neighbors(u)) {
+        count_[static_cast<std::size_t>(w)] = 0;
+      }
+    }
+  }
+  trace = mix(trace, static_cast<std::uint64_t>(num_cells_));
+  return trace;
+}
+
+std::vector<int> OrderedPartition::labeling() const {
+  assert(discrete());
+  return elements_;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,96 @@
+#pragma once
+// Ordered-partition refinement — the workhorse of graph automorphism
+// detection (the core loop of Nauty/Saucy).
+//
+// A partition of the vertices into ordered cells is refined until it is
+// *equitable*: every vertex in a cell has the same number of neighbours in
+// every other cell. Refinement is driven by a worklist of splitter cells,
+// so re-refining after individualizing a single vertex costs only the
+// affected region of the graph. The sequence of splits (the refinement
+// trace) is an isomorphism invariant used to prune the search tree.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace symcolor {
+
+class OrderedPartition {
+ public:
+  /// Build the unit partition of n vertices grouped by `colors` (vertices
+  /// with equal color share a cell; cells ordered by color value).
+  /// `colors` empty means all vertices share one cell.
+  OrderedPartition(int n, std::span<const int> colors);
+
+  struct Cell {
+    int start = 0;
+    int size = 0;
+    [[nodiscard]] bool singleton() const noexcept { return size == 1; }
+  };
+
+  [[nodiscard]] int num_vertices() const noexcept {
+    return static_cast<int>(elements_.size());
+  }
+  [[nodiscard]] int num_cells() const noexcept { return num_cells_; }
+  [[nodiscard]] bool discrete() const noexcept {
+    return num_cells_ == num_vertices();
+  }
+
+  /// Ids of live cells are 0..cells_.size()-1 but dead (replaced) cells
+  /// are skipped via the live flag. Iterate with for_each_cell.
+  [[nodiscard]] const Cell& cell(int id) const {
+    return cells_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int num_cell_slots() const noexcept {
+    return static_cast<int>(cells_.size());
+  }
+  [[nodiscard]] bool cell_live(int id) const {
+    return live_[static_cast<std::size_t>(id)] != 0;
+  }
+  [[nodiscard]] int cell_of(int vertex) const {
+    return cell_of_[static_cast<std::size_t>(vertex)];
+  }
+  [[nodiscard]] std::span<const int> cell_elements(int id) const {
+    const Cell& c = cells_[static_cast<std::size_t>(id)];
+    return {elements_.data() + c.start, static_cast<std::size_t>(c.size)};
+  }
+  [[nodiscard]] std::span<const int> elements() const noexcept {
+    return elements_;
+  }
+
+  /// The first smallest non-singleton cell id, or -1 if discrete.
+  [[nodiscard]] int target_cell() const;
+
+  /// Split `vertex` out of its (non-singleton) cell into a fresh leading
+  /// singleton cell; returns the id of the singleton. The remainder keeps
+  /// a new id as well. Call refine() afterwards with the returned id.
+  int individualize(int vertex);
+
+  /// Refine to an equitable partition, using `graph` adjacency, starting
+  /// from the given splitter worklist (pass all live cells, or just the
+  /// cell returned by individualize). Returns a trace hash: an
+  /// isomorphism-invariant fingerprint of all splits performed.
+  std::uint64_t refine(const Graph& graph, std::vector<int> worklist);
+
+  /// Labeling of a discrete partition: label[i] = vertex in cell position
+  /// i; requires discrete().
+  [[nodiscard]] std::vector<int> labeling() const;
+
+ private:
+  int split_cell_by_count(int cell_id, std::vector<int>* new_cells,
+                          std::uint64_t* trace);
+
+  std::vector<int> elements_;   // vertices grouped by cell, cell-contiguous
+  std::vector<int> position_;   // vertex -> index in elements_
+  std::vector<int> cell_of_;    // vertex -> cell id
+  std::vector<Cell> cells_;     // append-only; replaced cells marked dead
+  std::vector<char> live_;
+  int num_cells_ = 0;
+
+  std::vector<std::int64_t> count_;  // scratch: neighbour counts
+  std::vector<int> touched_;         // scratch: cells touched by splitter
+};
+
+}  // namespace symcolor

@@ -1,0 +1,213 @@
+#include "automorphism/search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "automorphism/refinement.h"
+
+namespace symcolor {
+namespace {
+
+/// Plain union-find over vertices, merged with every discovered generator.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+  void merge_perm(std::span<const int> p) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] != static_cast<int>(i)) unite(static_cast<int>(i), p[i]);
+    }
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+class Search {
+ public:
+  Search(const Graph& graph, std::span<const int> colors,
+         const Deadline& deadline)
+      : graph_(graph),
+        colors_(colors.begin(), colors.end()),
+        deadline_(deadline),
+        theta_(graph.num_vertices()) {}
+
+  AutomorphismResult run() {
+    Timer timer;
+    const int n = graph_.num_vertices();
+    if (n == 0) {
+      result_.seconds = timer.seconds();
+      return std::move(result_);
+    }
+    OrderedPartition root(n, colors_);
+    std::vector<int> all_cells;
+    for (int id = 0; id < root.num_cell_slots(); ++id) {
+      if (root.cell_live(id)) all_cells.push_back(id);
+    }
+    first_traces_.push_back(root.refine(graph_, std::move(all_cells)));
+    first_path(root, 0);
+    result_.seconds = timer.seconds();
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] bool budget_exceeded() {
+    if ((result_.nodes & 0xFF) == 0 && deadline_.expired()) {
+      result_.complete = false;
+    }
+    return !result_.complete;
+  }
+
+  /// Descend the leftmost path; afterwards explore sibling children with
+  /// orbit pruning and accumulate the group order.
+  void first_path(const OrderedPartition& node, int level) {
+    ++result_.nodes;
+    if (budget_exceeded()) return;
+    if (node.discrete()) {
+      base_leaf_ = node.labeling();
+      ++result_.leaves;
+      return;
+    }
+    const int target = node.target_cell();
+    const std::vector<int> cell(node.cell_elements(target).begin(),
+                                node.cell_elements(target).end());
+    const int v = cell.front();
+
+    {
+      OrderedPartition child = node;
+      const int singleton = child.individualize(v);
+      const std::uint64_t trace = child.refine(graph_, {singleton});
+      if (static_cast<int>(first_traces_.size()) <= level + 1) {
+        first_traces_.push_back(trace);
+      }
+      first_path(child, level + 1);
+    }
+    if (!result_.complete) return;
+
+    // Explore the remaining children of this first-path node.
+    std::vector<int> explored{v};
+    for (std::size_t i = 1; i < cell.size(); ++i) {
+      if (budget_exceeded()) return;
+      const int w = cell[static_cast<std::size_t>(i)];
+      bool pruned = false;
+      for (const int e : explored) {
+        if (theta_.find(w) == theta_.find(e)) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) continue;
+      explored.push_back(w);
+      OrderedPartition child = node;
+      const int singleton = child.individualize(w);
+      const std::uint64_t trace = child.refine(graph_, {singleton});
+      if (trace != first_traces_[static_cast<std::size_t>(level + 1)]) continue;
+      other_path(child, level + 1);
+    }
+
+    // Group order contribution: |orbit of v within the target cell|.
+    int orbit_size = 0;
+    for (const int w : cell) {
+      if (theta_.find(w) == theta_.find(v)) ++orbit_size;
+    }
+    if (orbit_size > 1) {
+      result_.log10_order += std::log10(static_cast<double>(orbit_size));
+    }
+  }
+
+  /// Search one subtree for a single automorphism (Saucy-style early
+  /// exit). Returns true when one was found.
+  bool other_path(const OrderedPartition& node, int level) {
+    ++result_.nodes;
+    if (budget_exceeded()) return false;
+    if (node.discrete()) {
+      ++result_.leaves;
+      return try_leaf(node);
+    }
+    if (static_cast<int>(first_traces_.size()) <= level + 1) {
+      // The first path ended above this depth; structure mismatch.
+      ++result_.bad_leaves;
+      return false;
+    }
+    const int target = node.target_cell();
+    const std::vector<int> cell(node.cell_elements(target).begin(),
+                                node.cell_elements(target).end());
+    for (const int w : cell) {
+      if (budget_exceeded()) return false;
+      OrderedPartition child = node;
+      const int singleton = child.individualize(w);
+      const std::uint64_t trace = child.refine(graph_, {singleton});
+      if (trace != first_traces_[static_cast<std::size_t>(level + 1)]) continue;
+      if (other_path(child, level + 1)) return true;
+    }
+    return false;
+  }
+
+  bool try_leaf(const OrderedPartition& leaf) {
+    const std::vector<int> labeling = leaf.labeling();
+    Perm perm(base_leaf_.size());
+    for (std::size_t i = 0; i < base_leaf_.size(); ++i) {
+      perm[static_cast<std::size_t>(base_leaf_[i])] = labeling[i];
+    }
+    if (is_identity(perm)) return false;
+    if (!is_automorphism(graph_, perm, colors_)) {
+      ++result_.bad_leaves;
+      return false;
+    }
+    theta_.merge_perm(perm);
+    result_.generators.push_back(std::move(perm));
+    return true;
+  }
+
+  const Graph& graph_;
+  std::vector<int> colors_;
+  const Deadline& deadline_;
+  DisjointSets theta_;
+  AutomorphismResult result_;
+  std::vector<std::uint64_t> first_traces_;
+  std::vector<int> base_leaf_;
+};
+
+}  // namespace
+
+bool is_automorphism(const Graph& graph, std::span<const int> perm,
+                     std::span<const int> colors) {
+  if (static_cast<int>(perm.size()) != graph.num_vertices()) return false;
+  if (!is_permutation(perm)) return false;
+  if (!colors.empty()) {
+    for (std::size_t v = 0; v < perm.size(); ++v) {
+      if (colors[v] != colors[static_cast<std::size_t>(perm[v])]) return false;
+    }
+  }
+  for (const Edge& e : graph.edges()) {
+    if (!graph.has_edge(perm[static_cast<std::size_t>(e.u)],
+                        perm[static_cast<std::size_t>(e.v)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AutomorphismResult find_automorphisms(const Graph& graph,
+                                      std::span<const int> colors,
+                                      const Deadline& deadline) {
+  Search search(graph, colors, deadline);
+  return search.run();
+}
+
+}  // namespace symcolor

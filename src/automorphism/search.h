@@ -1,0 +1,48 @@
+#pragma once
+// Graph automorphism search (the Saucy/Nauty stand-in).
+//
+// Individualization-refinement: descend a search tree whose nodes are
+// ordered partitions, individualizing one vertex of the target cell per
+// level. The first (leftmost) leaf fixes a base labeling; every other leaf
+// whose refinement trace matches the first path is compared against the
+// base labeling, and a match yields an automorphism generator. Discovered
+// generators drive orbit pruning at first-path nodes (the Schreier
+// argument), and the group order is accumulated as the product of
+// first-path orbit sizes — Nauty's grpsize method.
+//
+// The search returns a *generating set*, not the whole group, exactly like
+// Saucy; downstream symmetry breaking only consumes generators.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automorphism/perm.h"
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace symcolor {
+
+struct AutomorphismResult {
+  std::vector<Perm> generators;
+  /// log10 of |Aut(G)| (0.0 for a rigid graph). Exact when `complete`.
+  double log10_order = 0.0;
+  std::int64_t nodes = 0;
+  std::int64_t leaves = 0;
+  std::int64_t bad_leaves = 0;  ///< leaves that failed the adjacency check
+  bool complete = true;         ///< false when the deadline cut the search
+  double seconds = 0.0;
+};
+
+/// Find automorphism-group generators of `graph` respecting the vertex
+/// coloring `colors` (vertices may only map to vertices of equal color;
+/// pass empty for uncolored). Deterministic for a fixed input.
+AutomorphismResult find_automorphisms(const Graph& graph,
+                                      std::span<const int> colors = {},
+                                      const Deadline& deadline = {});
+
+/// True iff `perm` maps edges to edges and respects `colors`.
+bool is_automorphism(const Graph& graph, std::span<const int> perm,
+                     std::span<const int> colors = {});
+
+}  // namespace symcolor

@@ -1,0 +1,78 @@
+#pragma once
+// Boolean variables, literals and three-valued assignments.
+//
+// MiniSat-style encoding: a variable is a dense non-negative integer; a
+// literal packs (variable, sign) as 2*var + sign, so literals index arrays
+// directly (watch lists, saved phases). sign == 1 means negated.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace symcolor {
+
+using Var = int;
+constexpr Var kNoVar = -1;
+
+class Lit {
+ public:
+  constexpr Lit() noexcept : code_(-2) {}
+  constexpr Lit(Var var, bool negated) noexcept
+      : code_(2 * var + (negated ? 1 : 0)) {}
+
+  /// The positive literal of `var`.
+  static constexpr Lit positive(Var var) noexcept { return Lit(var, false); }
+  /// The negative literal of `var`.
+  static constexpr Lit negative(Var var) noexcept { return Lit(var, true); }
+  /// Rebuild from the packed code (watch-list indexing round trip).
+  static constexpr Lit from_code(int code) noexcept {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return code_ & 1; }
+  [[nodiscard]] constexpr int code() const noexcept { return code_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return code_ >= 0; }
+
+  /// Complement literal.
+  constexpr Lit operator~() const noexcept { return from_code(code_ ^ 1); }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept = default;
+  friend constexpr auto operator<=>(Lit a, Lit b) noexcept = default;
+
+ private:
+  int code_;
+};
+
+constexpr Lit kUndefLit{};
+
+inline std::ostream& operator<<(std::ostream& os, Lit l) {
+  if (!l.valid()) return os << "<undef>";
+  if (l.negated()) os << '~';
+  return os << 'x' << l.var();
+}
+
+/// Three-valued assignment state.
+enum class LBool : std::int8_t { False = 0, True = 1, Undef = 2 };
+
+constexpr LBool lbool_of(bool b) noexcept {
+  return b ? LBool::True : LBool::False;
+}
+
+/// Value of a literal under a variable value: flips for negated literals.
+constexpr LBool lit_value(LBool var_value, bool negated) noexcept {
+  if (var_value == LBool::Undef) return LBool::Undef;
+  const bool v = (var_value == LBool::True) != negated;
+  return lbool_of(v);
+}
+
+}  // namespace symcolor
+
+template <>
+struct std::hash<symcolor::Lit> {
+  std::size_t operator()(symcolor::Lit l) const noexcept {
+    return std::hash<int>{}(l.code());
+  }
+};

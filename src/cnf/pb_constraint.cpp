@@ -1,0 +1,96 @@
+#include "cnf/pb_constraint.h"
+
+#include <algorithm>
+#include <map>
+
+namespace symcolor {
+
+PbConstraint PbConstraint::at_least(std::vector<PbTerm> terms,
+                                    std::int64_t bound) {
+  PbConstraint c;
+  c.terms_ = std::move(terms);
+  c.bound_ = bound;
+  c.normalize();
+  return c;
+}
+
+PbConstraint PbConstraint::at_most(std::vector<PbTerm> terms,
+                                   std::int64_t bound) {
+  // sum a_i l_i <= b  <=>  sum (-a_i) l_i >= -b
+  for (PbTerm& t : terms) t.coeff = -t.coeff;
+  return at_least(std::move(terms), -bound);
+}
+
+void PbConstraint::normalize() {
+  // Step 1: merge per-variable contributions. Represent each variable's
+  // net effect as coefficient-on-positive-literal plus a constant shift
+  // (from a*~x == a - a*x).
+  std::map<Var, std::int64_t> positive_coeff;
+  std::int64_t shift = 0;
+  for (const PbTerm& t : terms_) {
+    if (t.coeff == 0 || !t.lit.valid()) continue;
+    if (t.lit.negated()) {
+      // a*~x = a - a*x
+      shift += t.coeff;
+      positive_coeff[t.lit.var()] -= t.coeff;
+    } else {
+      positive_coeff[t.lit.var()] += t.coeff;
+    }
+  }
+  bound_ -= shift;
+
+  // Step 2: flip negative coefficients back onto negated literals.
+  terms_.clear();
+  for (const auto& [var, coeff] : positive_coeff) {
+    if (coeff > 0) {
+      terms_.push_back({coeff, Lit::positive(var)});
+    } else if (coeff < 0) {
+      // -a*x = a*~x - a
+      terms_.push_back({-coeff, Lit::negative(var)});
+      bound_ += -coeff;
+    }
+  }
+
+  // Step 3: coefficients larger than the bound act like the bound
+  // (saturation); keeps numbers small and detects clauses.
+  if (bound_ > 0) {
+    for (PbTerm& t : terms_) t.coeff = std::min(t.coeff, bound_);
+  }
+
+  // Canonical order: descending coefficient, then literal code.
+  std::sort(terms_.begin(), terms_.end(), [](const PbTerm& a, const PbTerm& b) {
+    if (a.coeff != b.coeff) return a.coeff > b.coeff;
+    return a.lit.code() < b.lit.code();
+  });
+
+  coeff_sum_ = 0;
+  for (const PbTerm& t : terms_) coeff_sum_ += t.coeff;
+}
+
+bool PbConstraint::is_cardinality() const noexcept {
+  return std::all_of(terms_.begin(), terms_.end(),
+                     [](const PbTerm& t) { return t.coeff == 1; });
+}
+
+bool PbConstraint::satisfied_by(std::span<const LBool> values) const {
+  std::int64_t total = 0;
+  for (const PbTerm& t : terms_) {
+    const LBool v = lit_value(values[static_cast<std::size_t>(t.lit.var())],
+                              t.lit.negated());
+    if (v == LBool::True) total += t.coeff;
+  }
+  return total >= bound_;
+}
+
+std::ostream& operator<<(std::ostream& os, const PbConstraint& c) {
+  bool first = true;
+  for (const PbTerm& t : c.terms_) {
+    if (!first) os << " + ";
+    os << t.coeff << '*' << t.lit;
+    first = false;
+  }
+  if (first) os << '0';
+  return os << " >= " << c.bound_;
+}
+
+}  // namespace symcolor

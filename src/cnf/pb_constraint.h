@@ -1,0 +1,74 @@
+#pragma once
+// Normalized pseudo-Boolean constraints.
+//
+// The paper's 0-1 ILP component uses linear inequalities over Boolean
+// literals. We normalize everything to the "at least" form
+//     a_1*l_1 + a_2*l_2 + ... + a_n*l_n >= bound,   a_i > 0,
+// using the identities  -a*x == a*(~x) - a  and  (<=) == -(>=).
+// Duplicate/opposing literals are merged so each variable appears at most
+// once; this is the invariant every consumer (solver propagation, graph
+// construction for symmetry detection) relies on.
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "cnf/literals.h"
+
+namespace symcolor {
+
+/// One weighted literal a*l with a > 0 after normalization.
+struct PbTerm {
+  std::int64_t coeff = 0;
+  Lit lit;
+  friend bool operator==(const PbTerm&, const PbTerm&) = default;
+};
+
+class PbConstraint {
+ public:
+  PbConstraint() = default;
+
+  /// Build sum(terms) >= bound and normalize. Terms may carry negative or
+  /// duplicate coefficients; they are rewritten.
+  static PbConstraint at_least(std::vector<PbTerm> terms, std::int64_t bound);
+
+  /// Build sum(terms) <= bound and normalize into the >= form.
+  static PbConstraint at_most(std::vector<PbTerm> terms, std::int64_t bound);
+
+  /// Terms in normalized form, sorted by descending coefficient then
+  /// literal code (a canonical order so equal constraints compare equal).
+  [[nodiscard]] std::span<const PbTerm> terms() const noexcept { return terms_; }
+  [[nodiscard]] std::int64_t bound() const noexcept { return bound_; }
+
+  /// Sum of all coefficients; slack when nothing is assigned.
+  [[nodiscard]] std::int64_t coeff_sum() const noexcept { return coeff_sum_; }
+
+  /// Trivially satisfied (bound <= 0 after normalization).
+  [[nodiscard]] bool is_tautology() const noexcept { return bound_ <= 0; }
+  /// Unsatisfiable even with every literal true.
+  [[nodiscard]] bool is_contradiction() const noexcept {
+    return bound_ > coeff_sum_;
+  }
+  /// All coefficients equal 1 — a cardinality constraint.
+  [[nodiscard]] bool is_cardinality() const noexcept;
+  /// Cardinality with bound 1 — semantically a clause.
+  [[nodiscard]] bool is_clause() const noexcept {
+    return bound_ == 1 && is_cardinality();
+  }
+
+  /// Evaluate under a complete assignment (values indexed by variable).
+  [[nodiscard]] bool satisfied_by(std::span<const LBool> values) const;
+
+  friend bool operator==(const PbConstraint&, const PbConstraint&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const PbConstraint& c);
+
+ private:
+  std::vector<PbTerm> terms_;
+  std::int64_t bound_ = 0;
+  std::int64_t coeff_sum_ = 0;
+
+  void normalize();
+};
+
+}  // namespace symcolor

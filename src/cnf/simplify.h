@@ -1,0 +1,40 @@
+#pragma once
+// Pre-solve formula simplification.
+//
+// Applied between encoding and search (the niche SatELite-style
+// preprocessors occupy in a SAT pipeline): root-level unit propagation
+// over clauses and PB constraints, pure-literal fixing, and clause
+// subsumption. The simplified formula lives on the SAME variable space —
+// fixed variables are kept as unit clauses — so models, decoders and
+// objectives carry over unchanged, and the transformation preserves the
+// full model set over non-pure variables (pure fixing preserves
+// satisfiability and never worsens the objective because objective
+// variables are exempt from it).
+
+#include "cnf/formula.h"
+
+namespace symcolor {
+
+struct SimplifyStats {
+  int fixed_variables = 0;     ///< by unit propagation
+  int pure_literals = 0;       ///< fixed by purity
+  int removed_clauses = 0;     ///< satisfied at root or subsumed
+  int shortened_clauses = 0;   ///< false literals stripped
+  int removed_pb = 0;          ///< PB constraints satisfied or clausified
+  bool unsatisfiable = false;  ///< root conflict found
+};
+
+struct SimplifyOptions {
+  bool propagate_units = true;
+  bool pure_literals = true;
+  bool subsumption = true;
+  /// Cap on subsumption source-clause length (longer clauses are still
+  /// eligible targets); bounds the quadratic corner.
+  int max_subsumption_width = 12;
+};
+
+/// Simplify `formula`; returns the reduced formula and fills `stats`.
+Formula simplify(const Formula& formula, SimplifyStats* stats = nullptr,
+                 const SimplifyOptions& options = {});
+
+}  // namespace symcolor

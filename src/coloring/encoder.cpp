@@ -1,0 +1,120 @@
+#include "coloring/encoder.h"
+
+#include <stdexcept>
+
+#include "coloring/sbp.h"
+
+namespace symcolor {
+
+std::string SbpOptions::label() const {
+  if (!any()) return "none";
+  std::string out;
+  auto append = [&out](const char* tag) {
+    if (!out.empty()) out += "+";
+    out += tag;
+  };
+  if (nu) append("NU");
+  if (ca) append("CA");
+  if (li) append(li_paper_literal ? "LIq" : "LI");
+  if (sc) append("SC");
+  return out;
+}
+
+std::vector<SbpOptions> paper_sbp_rows() {
+  return {SbpOptions::none(),    SbpOptions::nu_only(), SbpOptions::ca_only(),
+          SbpOptions::li_only(), SbpOptions::sc_only(), SbpOptions::nu_sc(),
+          SbpOptions::li_paper()};
+}
+
+namespace {
+
+ColoringEncoding encode_impl(const Graph& graph, int max_colors,
+                             const SbpOptions& sbps, bool with_objective) {
+  if (max_colors < 1) throw std::invalid_argument("need at least one color");
+  if (!graph.finalized()) throw std::invalid_argument("graph not finalized");
+
+  ColoringEncoding enc;
+  enc.num_vertices = graph.num_vertices();
+  enc.num_colors = max_colors;
+  Formula& f = enc.formula;
+
+  const int n = enc.num_vertices;
+  const int k = enc.num_colors;
+
+  // x block, vertex-major, then y block (must match x()/y() arithmetic).
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      f.new_var("x_" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  for (int j = 0; j < k; ++j) f.new_var("y_" + std::to_string(j));
+
+  // Each vertex gets exactly one color.
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> lits;
+    lits.reserve(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) lits.push_back(Lit::positive(enc.x(i, j)));
+    f.add_exactly(lits, 1);
+    ++enc.ilp_equalities;
+  }
+
+  // Adjacent vertices differ in color.
+  for (const Edge& e : graph.edges()) {
+    for (int j = 0; j < k; ++j) {
+      f.add_clause({Lit::negative(enc.x(e.u, j)), Lit::negative(enc.x(e.v, j))});
+    }
+  }
+
+  // Usage indicators: y(j) <-> OR_i x(i,j).
+  for (int j = 0; j < k; ++j) {
+    Clause some_user{Lit::negative(enc.y(j))};
+    for (int i = 0; i < n; ++i) {
+      f.add_implication(Lit::positive(enc.x(i, j)), Lit::positive(enc.y(j)));
+      some_user.push_back(Lit::positive(enc.x(i, j)));
+    }
+    f.add_clause(std::move(some_user));
+  }
+
+  if (with_objective) {
+    Objective objective;
+    for (int j = 0; j < k; ++j) {
+      objective.terms.push_back({1, Lit::positive(enc.y(j))});
+    }
+    f.set_objective(std::move(objective));
+  }
+
+  add_instance_independent_sbps(graph, &enc, sbps);
+  return enc;
+}
+
+}  // namespace
+
+ColoringEncoding encode_coloring(const Graph& graph, int max_colors,
+                                 const SbpOptions& sbps) {
+  return encode_impl(graph, max_colors, sbps, /*with_objective=*/true);
+}
+
+ColoringEncoding encode_k_coloring(const Graph& graph, int max_colors,
+                                   const SbpOptions& sbps) {
+  return encode_impl(graph, max_colors, sbps, /*with_objective=*/false);
+}
+
+std::vector<int> ColoringEncoding::decode(std::span<const LBool> model) const {
+  std::vector<int> colors(static_cast<std::size_t>(num_vertices), -1);
+  for (int i = 0; i < num_vertices; ++i) {
+    for (int j = 0; j < num_colors; ++j) {
+      if (model[static_cast<std::size_t>(x(i, j))] == LBool::True) {
+        if (colors[static_cast<std::size_t>(i)] != -1) {
+          throw std::runtime_error("decode: vertex with two colors");
+        }
+        colors[static_cast<std::size_t>(i)] = j;
+      }
+    }
+    if (colors[static_cast<std::size_t>(i)] == -1) {
+      throw std::runtime_error("decode: uncolored vertex");
+    }
+  }
+  return colors;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,82 @@
+#include "coloring/exact_colorer.h"
+
+#include <stdexcept>
+
+#include "cnf/simplify.h"
+
+namespace symcolor {
+namespace {
+
+ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
+                             bool optimization) {
+  Timer total;
+  Deadline deadline(options.time_budget_seconds);
+
+  ColoringOutcome outcome;
+  Timer encode_timer;
+  ColoringEncoding enc = optimization
+                             ? encode_coloring(graph, options.max_colors,
+                                               options.sbps)
+                             : encode_k_coloring(graph, options.max_colors,
+                                                 options.sbps);
+  outcome.encode_seconds = encode_timer.seconds();
+
+  if (options.instance_dependent_sbps) {
+    const ShatterStats stats =
+        shatter(enc.formula, deadline, options.sbp_max_support);
+    outcome.symmetry = stats.symmetry;
+    outcome.inst_dep_sbp_clauses = stats.sbp.clauses_added;
+  }
+
+  if (options.presimplify) {
+    enc.formula = simplify(enc.formula);
+  }
+
+  outcome.formula_vars = enc.formula.num_vars();
+  outcome.formula_clauses = enc.formula.num_clauses();
+  outcome.formula_pb = enc.formula.num_pb();
+
+  Timer solve_timer;
+  OptResult result;
+  if (options.solver == SolverKind::GenericIlp) {
+    result = solve_generic_ilp(enc.formula, deadline);
+  } else {
+    const SolverConfig config = profile_config(options.solver);
+    result = optimization
+                 ? (options.binary_search
+                        ? minimize_binary(enc.formula, config, deadline)
+                        : minimize_linear(enc.formula, config, deadline))
+                 : solve_decision(enc.formula, config, deadline);
+  }
+  outcome.solve_seconds = solve_timer.seconds();
+  outcome.solver_stats = result.stats;
+  outcome.status = result.status;
+
+  if (!result.model.empty()) {
+    outcome.coloring = enc.decode(result.model);
+    if (!graph.is_proper_coloring(outcome.coloring)) {
+      throw std::logic_error("solver returned an improper coloring");
+    }
+    outcome.num_colors = Graph::count_colors(outcome.coloring);
+    if (optimization &&
+        outcome.num_colors != static_cast<int>(result.best_value)) {
+      throw std::logic_error("objective value disagrees with coloring");
+    }
+  }
+  outcome.total_seconds = total.seconds();
+  return outcome;
+}
+
+}  // namespace
+
+ColoringOutcome solve_coloring(const Graph& graph,
+                               const ColoringOptions& options) {
+  return run_pipeline(graph, options, /*optimization=*/true);
+}
+
+ColoringOutcome solve_k_coloring(const Graph& graph,
+                                 const ColoringOptions& options) {
+  return run_pipeline(graph, options, /*optimization=*/false);
+}
+
+}  // namespace symcolor

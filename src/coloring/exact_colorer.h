@@ -1,0 +1,78 @@
+#pragma once
+// The library's main entry point: optimal graph coloring by reduction to
+// 0-1 ILP with configurable symmetry breaking — the full experimental
+// pipeline of the paper in one call.
+//
+//   graph --encode(K, instance-independent SBPs)--> 0-1 ILP formula
+//         --[optional: Shatter instance-dependent SBPs]-->
+//         --solver personality (PBS II / Galena / Pueblo / generic ILP)-->
+//         minimum-coloring model --> per-vertex colors.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coloring/encoder.h"
+#include "pb/generic_ilp.h"
+#include "pb/optimizer.h"
+#include "pb/solver_profiles.h"
+#include "symmetry/shatter.h"
+
+namespace symcolor {
+
+struct ColoringOptions {
+  /// Color bound K of the encoding (paper uses 20 and 30). A graph whose
+  /// chromatic number exceeds this is reported Infeasible.
+  int max_colors = 20;
+  /// Instance-independent SBPs added during formulation.
+  SbpOptions sbps;
+  /// Run the Shatter flow (detect + lex-leader SBPs) before solving.
+  bool instance_dependent_sbps = false;
+  /// Truncate lex-leader chains (0 = full support).
+  int sbp_max_support = 0;
+  SolverKind solver = SolverKind::PbsII;
+  /// Per-instance wall budget in seconds (0 = unlimited), covering
+  /// symmetry detection plus solving.
+  double time_budget_seconds = 0.0;
+  /// Use binary instead of linear objective search (ablation).
+  bool binary_search = false;
+  /// Run the pre-solve simplifier (root propagation, pure literals,
+  /// subsumption) after SBPs are in place.
+  bool presimplify = false;
+};
+
+struct ColoringOutcome {
+  /// Optimal: `num_colors` is the chromatic number (within max_colors).
+  /// Infeasible: chromatic number exceeds max_colors.
+  /// Feasible: timeout with a valid (not proved optimal) coloring.
+  /// Unknown: timeout without any coloring.
+  OptStatus status = OptStatus::Unknown;
+  int num_colors = -1;
+  std::vector<int> coloring;  ///< per-vertex colors, empty unless found
+
+  // Pipeline statistics.
+  int formula_vars = 0;
+  int formula_clauses = 0;
+  int formula_pb = 0;
+  std::optional<SymmetryInfo> symmetry;  ///< set when Shatter ran
+  int inst_dep_sbp_clauses = 0;
+  SolverStats solver_stats;
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] bool solved() const noexcept {
+    return status == OptStatus::Optimal || status == OptStatus::Infeasible;
+  }
+};
+
+/// Minimize the number of colors of `graph` under `options`.
+ColoringOutcome solve_coloring(const Graph& graph,
+                               const ColoringOptions& options = {});
+
+/// Decision query: is `graph` colorable with at most `options.max_colors`
+/// colors? Uses the same pipeline without an objective.
+ColoringOutcome solve_k_coloring(const Graph& graph,
+                                 const ColoringOptions& options = {});
+
+}  // namespace symcolor

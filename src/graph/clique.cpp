@@ -1,0 +1,243 @@
+#include "graph/clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace symcolor {
+namespace {
+
+/// Branch-and-bound state for max_clique.
+class CliqueSearch {
+ public:
+  CliqueSearch(const Graph& graph, const Deadline& deadline)
+      : graph_(graph), deadline_(deadline) {}
+
+  std::vector<int> run(std::vector<int> seed, bool* proved_optimal) {
+    best_ = std::move(seed);
+    std::vector<int> candidates(static_cast<std::size_t>(graph_.num_vertices()));
+    std::iota(candidates.begin(), candidates.end(), 0);
+    current_.clear();
+    complete_ = true;
+    expand(candidates);
+    if (proved_optimal != nullptr) *proved_optimal = complete_;
+    return best_;
+  }
+
+ private:
+  // Greedy coloring of the candidate set; returns per-candidate color
+  // numbers (1-based). max color bounds the clique extension size.
+  std::vector<int> color_bound(const std::vector<int>& candidates) const {
+    std::vector<int> color(candidates.size(), 0);
+    std::vector<std::vector<int>> classes;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const int v = candidates[i];
+      std::size_t c = 0;
+      for (; c < classes.size(); ++c) {
+        bool conflict = false;
+        for (int u : classes[c]) {
+          if (graph_.has_edge(u, v)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == classes.size()) classes.emplace_back();
+      classes[c].push_back(v);
+      color[i] = static_cast<int>(c) + 1;
+    }
+    return color;
+  }
+
+  void expand(std::vector<int>& candidates) {
+    if (deadline_.expired()) {
+      complete_ = false;
+      return;
+    }
+    // Order candidates so higher colors (harder vertices) are tried first,
+    // and prune with |current| + color(v) <= |best|.
+    std::vector<int> color = color_bound(candidates);
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return color[a] < color[b]; });
+
+    std::vector<int> sorted(candidates.size());
+    std::vector<int> sorted_color(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      sorted[i] = candidates[order[i]];
+      sorted_color[i] = color[order[i]];
+    }
+
+    for (std::size_t i = sorted.size(); i-- > 0;) {
+      if (current_.size() + static_cast<std::size_t>(sorted_color[i]) <=
+          best_.size()) {
+        return;  // bound: no extension can beat the incumbent
+      }
+      const int v = sorted[i];
+      current_.push_back(v);
+      std::vector<int> next;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (graph_.has_edge(sorted[j], v)) next.push_back(sorted[j]);
+      }
+      if (next.empty()) {
+        if (current_.size() > best_.size()) best_ = current_;
+      } else {
+        expand(next);
+      }
+      current_.pop_back();
+    }
+  }
+
+  const Graph& graph_;
+  const Deadline& deadline_;
+  std::vector<int> best_;
+  std::vector<int> current_;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+std::vector<int> greedy_clique(const Graph& graph) {
+  const int n = graph.num_vertices();
+  if (n == 0) return {};
+  std::vector<int> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(), [&](int a, int b) {
+    return graph.degree(a) != graph.degree(b) ? graph.degree(a) > graph.degree(b)
+                                              : a < b;
+  });
+
+  std::vector<int> best;
+  const int restarts = std::min(n, 16);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<int> clique{by_degree[static_cast<std::size_t>(r)]};
+    for (int v : by_degree) {
+      bool compatible = true;
+      for (int u : clique) {
+        if (u == v || !graph.has_edge(u, v)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) clique.push_back(v);
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+std::vector<int> max_clique(const Graph& graph, const Deadline& deadline,
+                            bool* proved_optimal) {
+  CliqueSearch search(graph, deadline);
+  return search.run(greedy_clique(graph), proved_optimal);
+}
+
+namespace {
+
+/// Bron-Kerbosch with pivoting on sorted vectors.
+class CliqueEnumerator {
+ public:
+  CliqueEnumerator(const Graph& graph, std::size_t max_count)
+      : graph_(graph), max_count_(max_count) {}
+
+  std::vector<std::vector<int>> run(bool* truncated) {
+    std::vector<int> candidates(static_cast<std::size_t>(graph_.num_vertices()));
+    std::iota(candidates.begin(), candidates.end(), 0);
+    std::vector<int> current;
+    std::vector<int> excluded;
+    expand(current, std::move(candidates), std::move(excluded));
+    if (truncated != nullptr) *truncated = truncated_;
+    return std::move(results_);
+  }
+
+ private:
+  [[nodiscard]] bool full() const {
+    return max_count_ != 0 && results_.size() >= max_count_;
+  }
+
+  std::vector<int> intersect_neighbors(const std::vector<int>& set, int v) {
+    std::vector<int> out;
+    for (const int u : set) {
+      if (graph_.has_edge(u, v)) out.push_back(u);
+    }
+    return out;
+  }
+
+  void expand(std::vector<int>& current, std::vector<int> candidates,
+              std::vector<int> excluded) {
+    if (full()) {
+      truncated_ = true;
+      return;
+    }
+    if (candidates.empty() && excluded.empty()) {
+      results_.push_back(current);
+      std::sort(results_.back().begin(), results_.back().end());
+      return;
+    }
+    // Pivot: the vertex (from candidates or excluded) with the most
+    // neighbours among the candidates minimizes branching.
+    int pivot = -1;
+    int pivot_degree = -1;
+    for (const std::vector<int>* pool : {&candidates, &excluded}) {
+      for (const int u : *pool) {
+        int degree = 0;
+        for (const int w : candidates) {
+          if (graph_.has_edge(u, w)) ++degree;
+        }
+        if (degree > pivot_degree) {
+          pivot_degree = degree;
+          pivot = u;
+        }
+      }
+    }
+    std::vector<int> branch_vertices;
+    for (const int v : candidates) {
+      if (pivot < 0 || !graph_.has_edge(pivot, v)) branch_vertices.push_back(v);
+    }
+    for (const int v : branch_vertices) {
+      if (full()) {
+        truncated_ = true;
+        return;
+      }
+      current.push_back(v);
+      expand(current, intersect_neighbors(candidates, v),
+             intersect_neighbors(excluded, v));
+      current.pop_back();
+      candidates.erase(std::find(candidates.begin(), candidates.end(), v));
+      excluded.push_back(v);
+    }
+  }
+
+  const Graph& graph_;
+  std::size_t max_count_;
+  std::vector<std::vector<int>> results_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> maximal_cliques(const Graph& graph,
+                                              std::size_t max_count,
+                                              bool* truncated) {
+  CliqueEnumerator enumerator(graph, max_count);
+  return enumerator.run(truncated);
+}
+
+std::vector<std::vector<int>> maximal_independent_sets(const Graph& graph,
+                                                       std::size_t max_count,
+                                                       bool* truncated) {
+  return maximal_cliques(graph.complement(), max_count, truncated);
+}
+
+bool is_clique(const Graph& graph, const std::vector<int>& vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!graph.has_edge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,40 @@
+#pragma once
+// Clique computation: a fast greedy heuristic (lower bound for the
+// chromatic number, used to seed the exact colorer) and a small exact
+// branch-and-bound maximum-clique solver for validation on benchmark-sized
+// graphs.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace symcolor {
+
+/// Greedy clique: repeatedly add the highest-degree vertex compatible with
+/// the clique so far, restarting from each of the top-degree vertices and
+/// keeping the best. Deterministic. Returns vertex ids of the clique.
+std::vector<int> greedy_clique(const Graph& graph);
+
+/// Exact maximum clique via branch and bound with greedy-coloring bounds
+/// (a compact Tomita-style MCS). `deadline` caps the search; on timeout the
+/// best clique found so far is returned and `*proved_optimal` (if non-null)
+/// is set to false.
+std::vector<int> max_clique(const Graph& graph, const Deadline& deadline = {},
+                            bool* proved_optimal = nullptr);
+
+/// True iff `vertices` are pairwise adjacent in `graph`.
+bool is_clique(const Graph& graph, const std::vector<int>& vertices);
+
+/// All maximal cliques (Bron-Kerbosch with pivoting), each sorted
+/// ascending. Enumeration stops after `max_count` cliques (0 = no limit)
+/// and sets `*truncated` when the cutoff was hit.
+std::vector<std::vector<int>> maximal_cliques(const Graph& graph,
+                                              std::size_t max_count = 0,
+                                              bool* truncated = nullptr);
+
+/// All maximal independent sets = maximal cliques of the complement.
+std::vector<std::vector<int>> maximal_independent_sets(
+    const Graph& graph, std::size_t max_count = 0, bool* truncated = nullptr);
+
+}  // namespace symcolor

@@ -1,0 +1,109 @@
+#include "graph/dimacs_col.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/text.h"
+
+namespace symcolor {
+namespace {
+
+[[noreturn]] void fail(int line_number, const std::string& why) {
+  std::ostringstream msg;
+  msg << "dimacs col parse error at line " << line_number << ": " << why;
+  throw std::runtime_error(msg.str());
+}
+
+}  // namespace
+
+Graph read_dimacs_col(std::istream& in) {
+  Graph graph;
+  bool saw_header = false;
+  int declared_edges = 0;
+  int line_number = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+    switch (body.front()) {
+      case 'c':
+        break;  // comment
+      case 'p': {
+        if (saw_header) fail(line_number, "duplicate problem line");
+        const auto tokens = split_tokens(body);
+        if (tokens.size() != 4 || (tokens[1] != "edge" && tokens[1] != "edges")) {
+          fail(line_number, "expected 'p edge <n> <m>'");
+        }
+        int n = 0;
+        try {
+          n = std::stoi(tokens[2]);
+          declared_edges = std::stoi(tokens[3]);
+        } catch (const std::exception&) {
+          fail(line_number, "non-numeric problem line");
+        }
+        if (n < 0 || declared_edges < 0) fail(line_number, "negative size");
+        graph.reset(n);
+        saw_header = true;
+        break;
+      }
+      case 'e': {
+        if (!saw_header) fail(line_number, "edge before problem line");
+        const auto tokens = split_tokens(body);
+        if (tokens.size() != 3) fail(line_number, "expected 'e <u> <v>'");
+        int u = 0, v = 0;
+        try {
+          u = std::stoi(tokens[1]);
+          v = std::stoi(tokens[2]);
+        } catch (const std::exception&) {
+          fail(line_number, "non-numeric edge endpoints");
+        }
+        if (u < 1 || v < 1 || u > graph.num_vertices() ||
+            v > graph.num_vertices()) {
+          fail(line_number, "edge endpoint out of declared range");
+        }
+        graph.add_edge(u - 1, v - 1);
+        break;
+      }
+      default:
+        fail(line_number, std::string("unknown directive '") +
+                              std::string(1, body.front()) + "'");
+    }
+  }
+  if (!saw_header) throw std::runtime_error("dimacs col: missing problem line");
+  graph.finalize();
+  (void)declared_edges;  // tolerated: real benchmark files often misstate m
+  return graph;
+}
+
+Graph read_dimacs_col_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs_col(in);
+}
+
+Graph read_dimacs_col_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_dimacs_col(in);
+}
+
+void write_dimacs_col(std::ostream& out, const Graph& graph,
+                      const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << '\n';
+  out << "p edge " << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
+  for (const Edge& e : graph.edges()) {
+    out << "e " << (e.u + 1) << ' ' << (e.v + 1) << '\n';
+  }
+}
+
+std::string write_dimacs_col_string(const Graph& graph,
+                                    const std::string& comment) {
+  std::ostringstream out;
+  write_dimacs_col(out, graph, comment);
+  return out.str();
+}
+
+}  // namespace symcolor

@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace symcolor {
+
+void Graph::reset(int num_vertices) {
+  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  adjacency_.assign(static_cast<std::size_t>(num_vertices), {});
+  edges_.clear();
+  finalized_ = true;
+}
+
+void Graph::add_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  if (u == v) return;  // ignore self-loops: they are uncolorable artifacts
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for (auto& adj : adjacency_) adj.clear();
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adjacency_[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+  finalized_ = true;
+}
+
+std::span<const int> Graph::neighbors(int v) const {
+  assert(finalized_);
+  return adjacency_.at(static_cast<std::size_t>(v));
+}
+
+int Graph::degree(int v) const {
+  assert(finalized_);
+  return static_cast<int>(adjacency_.at(static_cast<std::size_t>(v)).size());
+}
+
+bool Graph::has_edge(int u, int v) const {
+  assert(finalized_);
+  if (u == v) return false;
+  const auto& adj = adjacency_.at(static_cast<std::size_t>(u));
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+int Graph::max_degree() const {
+  assert(finalized_);
+  int best = 0;
+  for (const auto& adj : adjacency_) {
+    best = std::max(best, static_cast<int>(adj.size()));
+  }
+  return best;
+}
+
+double Graph::density() const {
+  const double n = num_vertices();
+  if (n < 2) return 0.0;
+  return static_cast<double>(num_edges()) / (n * (n - 1.0) / 2.0);
+}
+
+Graph Graph::relabeled(std::span<const int> perm) const {
+  if (static_cast<int>(perm.size()) != num_vertices()) {
+    throw std::invalid_argument("permutation size mismatch");
+  }
+  Graph out(num_vertices());
+  for (const Edge& e : edges_) {
+    out.add_edge(perm[static_cast<std::size_t>(e.u)],
+                 perm[static_cast<std::size_t>(e.v)]);
+  }
+  out.finalize();
+  return out;
+}
+
+Graph Graph::complement() const {
+  assert(finalized_);
+  const int n = num_vertices();
+  Graph out(n);
+  for (int u = 0; u < n; ++u) {
+    const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+    std::size_t k = 0;
+    for (int v = u + 1; v < n; ++v) {
+      while (k < adj.size() && adj[k] < v) ++k;
+      const bool adjacent = k < adj.size() && adj[k] == v;
+      if (!adjacent) out.add_edge(u, v);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+bool Graph::is_proper_coloring(std::span<const int> colors) const {
+  if (static_cast<int>(colors.size()) != num_vertices()) return false;
+  for (const Edge& e : edges_) {
+    if (colors[static_cast<std::size_t>(e.u)] ==
+        colors[static_cast<std::size_t>(e.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Graph::count_colors(std::span<const int> colors) {
+  std::set<int> used(colors.begin(), colors.end());
+  return static_cast<int>(used.size());
+}
+
+}  // namespace symcolor

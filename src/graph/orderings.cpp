@@ -1,0 +1,154 @@
+#include "graph/orderings.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace symcolor {
+
+std::vector<int> natural_order(const Graph& graph) {
+  std::vector<int> order(static_cast<std::size_t>(graph.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<int> degree_order(const Graph& graph) {
+  std::vector<int> order = natural_order(graph);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+  return order;
+}
+
+std::vector<int> degeneracy_order(const Graph& graph, int* degeneracy_out) {
+  const int n = graph.num_vertices();
+  std::vector<int> remaining_degree(static_cast<std::size_t>(n));
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  // Bucket queue over degrees for the classic O(n + m) sweep.
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(n) + 1);
+  for (int v = 0; v < n; ++v) {
+    remaining_degree[static_cast<std::size_t>(v)] = graph.degree(v);
+    buckets[static_cast<std::size_t>(graph.degree(v))].push_back(v);
+  }
+
+  std::vector<int> reverse_order;
+  reverse_order.reserve(static_cast<std::size_t>(n));
+  int max_min_degree = 0;
+  int cursor = 0;
+  for (int step = 0; step < n; ++step) {
+    // Find the lowest non-empty bucket (cursor can decrease by at most
+    // one per removal, so track it and rewind a step each time).
+    cursor = std::max(0, cursor - 1);
+    int v = -1;
+    while (v < 0) {
+      auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+      while (!bucket.empty()) {
+        const int candidate = bucket.back();
+        bucket.pop_back();
+        if (!removed[static_cast<std::size_t>(candidate)] &&
+            remaining_degree[static_cast<std::size_t>(candidate)] == cursor) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v < 0) ++cursor;
+    }
+    max_min_degree = std::max(max_min_degree, cursor);
+    removed[static_cast<std::size_t>(v)] = 1;
+    reverse_order.push_back(v);
+    for (const int u : graph.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(u)]) continue;
+      const int d = --remaining_degree[static_cast<std::size_t>(u)];
+      buckets[static_cast<std::size_t>(d)].push_back(u);
+    }
+  }
+  if (degeneracy_out != nullptr) *degeneracy_out = max_min_degree;
+  // Smallest-last: the removal sequence reversed.
+  std::reverse(reverse_order.begin(), reverse_order.end());
+  return reverse_order;
+}
+
+int degeneracy(const Graph& graph) {
+  int d = 0;
+  (void)degeneracy_order(graph, &d);
+  return d;
+}
+
+std::vector<int> bfs_order(const Graph& graph, int root) {
+  const int n = graph.num_vertices();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<int> queue;
+  auto push = [&](int v) {
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = 1;
+      queue.push(v);
+    }
+  };
+  if (n > 0) push(std::clamp(root, 0, n - 1));
+  for (int v = 0; v <= n; ++v) {
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      order.push_back(u);
+      for (const int w : graph.neighbors(u)) push(w);
+    }
+    if (v < n) push(v);  // next component seed
+  }
+  return order;
+}
+
+int connected_components(const Graph& graph, std::vector<int>* component) {
+  const int n = graph.num_vertices();
+  std::vector<int> id(static_cast<std::size_t>(n), -1);
+  int count = 0;
+  for (int start = 0; start < n; ++start) {
+    if (id[static_cast<std::size_t>(start)] >= 0) continue;
+    std::queue<int> queue;
+    queue.push(start);
+    id[static_cast<std::size_t>(start)] = count;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (const int w : graph.neighbors(u)) {
+        if (id[static_cast<std::size_t>(w)] < 0) {
+          id[static_cast<std::size_t>(w)] = count;
+          queue.push(w);
+        }
+      }
+    }
+    ++count;
+  }
+  if (component != nullptr) *component = std::move(id);
+  return count;
+}
+
+bool is_bipartite(const Graph& graph, std::vector<int>* sides) {
+  const int n = graph.num_vertices();
+  std::vector<int> side(static_cast<std::size_t>(n), -1);
+  for (int start = 0; start < n; ++start) {
+    if (side[static_cast<std::size_t>(start)] >= 0) continue;
+    side[static_cast<std::size_t>(start)] = 0;
+    std::queue<int> queue;
+    queue.push(start);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (const int w : graph.neighbors(u)) {
+        if (side[static_cast<std::size_t>(w)] < 0) {
+          side[static_cast<std::size_t>(w)] =
+              1 - side[static_cast<std::size_t>(u)];
+          queue.push(w);
+        } else if (side[static_cast<std::size_t>(w)] ==
+                   side[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  if (sides != nullptr) *sides = std::move(side);
+  return true;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,43 @@
+#pragma once
+// Vertex orderings and related structural utilities.
+//
+// Orderings matter twice in this system: greedy heuristics color along
+// them, and the LI construction breaks symmetries relative to "the
+// pre-existing sequential numbering of vertices" (paper Section 2.2) —
+// so relabeling a graph by a better ordering changes what LI does. The
+// degeneracy (smallest-last) ordering in particular bounds the greedy
+// color count by degeneracy+1.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace symcolor {
+
+/// Natural order 0..n-1.
+std::vector<int> natural_order(const Graph& graph);
+
+/// Non-increasing degree (Welsh-Powell order), ties by index.
+std::vector<int> degree_order(const Graph& graph);
+
+/// Smallest-last / degeneracy ordering (Matula-Beck): repeatedly remove
+/// a minimum-degree vertex; the returned order lists vertices so that
+/// every vertex has at most `degeneracy` neighbours *earlier* in the
+/// order. Greedy coloring along it uses at most degeneracy+1 colors.
+std::vector<int> degeneracy_order(const Graph& graph, int* degeneracy = nullptr);
+
+/// Breadth-first order from vertex `root` (unreached vertices appended
+/// in index order).
+std::vector<int> bfs_order(const Graph& graph, int root = 0);
+
+/// The degeneracy (maximum over subgraphs of the minimum degree).
+int degeneracy(const Graph& graph);
+
+/// Connected components; returns component id per vertex and the count.
+int connected_components(const Graph& graph, std::vector<int>* component = nullptr);
+
+/// True iff the graph is bipartite (2-colorable); when it is and
+/// `sides` is non-null, a witness 0/1 assignment is stored.
+bool is_bipartite(const Graph& graph, std::vector<int>* sides = nullptr);
+
+}  // namespace symcolor

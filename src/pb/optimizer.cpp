@@ -1,0 +1,136 @@
+#include "pb/optimizer.h"
+
+#include <cassert>
+
+namespace symcolor {
+namespace {
+
+/// objective <= bound as a normalized PB constraint.
+PbConstraint objective_at_most(const Objective& objective, std::int64_t bound) {
+  std::vector<PbTerm> terms(objective.terms.begin(), objective.terms.end());
+  return PbConstraint::at_most(std::move(terms), bound);
+}
+
+}  // namespace
+
+OptResult solve_decision(const Formula& formula, const SolverConfig& config,
+                         const Deadline& deadline) {
+  OptResult result;
+  Timer timer;
+  CdclSolver solver(formula, config);
+  const SolveResult sat = solver.solve(deadline);
+  result.stats = solver.stats();
+  result.seconds = timer.seconds();
+  switch (sat) {
+    case SolveResult::Sat:
+      result.status = OptStatus::Optimal;
+      result.model = solver.model();
+      if (formula.objective()) {
+        result.best_value = formula.objective()->value(result.model);
+        result.status = OptStatus::Feasible;  // value not proved minimal
+      }
+      return result;
+    case SolveResult::Unsat:
+      result.status = OptStatus::Infeasible;
+      return result;
+    case SolveResult::Unknown:
+      result.status = OptStatus::Unknown;
+      return result;
+  }
+  return result;
+}
+
+OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
+                          const Deadline& deadline) {
+  if (!formula.objective()) return solve_decision(formula, config, deadline);
+  const Objective& objective = *formula.objective();
+
+  OptResult result;
+  Timer timer;
+  CdclSolver solver(formula, config);
+  bool have_model = false;
+  for (;;) {
+    const SolveResult sat = solver.solve(deadline);
+    if (sat == SolveResult::Sat) {
+      result.model = solver.model();
+      result.best_value = objective.value(result.model);
+      have_model = true;
+      // Strengthen: demand a strictly better objective value. Adding the
+      // bound can immediately make the instance trivially unsat, which
+      // the next solve() reports.
+      solver.add_pb(objective_at_most(objective, result.best_value - 1));
+      continue;
+    }
+    if (sat == SolveResult::Unsat) {
+      result.status = have_model ? OptStatus::Optimal : OptStatus::Infeasible;
+      break;
+    }
+    result.status = have_model ? OptStatus::Feasible : OptStatus::Unknown;
+    break;
+  }
+  result.stats = solver.stats();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
+                          const Deadline& deadline, std::int64_t lower_hint) {
+  if (!formula.objective()) return solve_decision(formula, config, deadline);
+  const Objective& objective = *formula.objective();
+
+  OptResult result;
+  Timer timer;
+
+  // Probe with no bound first to obtain an incumbent.
+  {
+    CdclSolver solver(formula, config);
+    const SolveResult sat = solver.solve(deadline);
+    result.stats = solver.stats();
+    if (sat == SolveResult::Unsat) {
+      result.status = OptStatus::Infeasible;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    if (sat == SolveResult::Unknown) {
+      result.status = OptStatus::Unknown;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    result.model = solver.model();
+    result.best_value = objective.value(result.model);
+  }
+
+  std::int64_t lo = lower_hint;
+  std::int64_t hi = result.best_value - 1;  // probe range for better values
+  while (lo <= hi) {
+    if (deadline.expired()) {
+      result.status = OptStatus::Feasible;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    Formula probe = formula;
+    probe.add_pb(objective_at_most(objective, mid));
+    CdclSolver solver(probe, config);
+    const SolveResult sat = solver.solve(deadline);
+    result.stats.conflicts += solver.stats().conflicts;
+    result.stats.decisions += solver.stats().decisions;
+    result.stats.propagations += solver.stats().propagations;
+    if (sat == SolveResult::Sat) {
+      result.model = solver.model();
+      result.best_value = objective.value(result.model);
+      hi = result.best_value - 1;
+    } else if (sat == SolveResult::Unsat) {
+      lo = mid + 1;
+    } else {
+      result.status = OptStatus::Feasible;
+      result.seconds = timer.seconds();
+      return result;
+    }
+  }
+  result.status = OptStatus::Optimal;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace symcolor

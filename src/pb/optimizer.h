@@ -1,0 +1,53 @@
+#pragma once
+// Boolean optimization (0-1 ILP) on top of the CDCL engine.
+//
+// The paper's solvers minimize a linear objective over a CNF+PB formula.
+// We implement the standard strengthening loop ("linear search" in the
+// paper's Section 4.1 terminology): solve; on SAT with objective value W,
+// add  objective <= W - 1  and re-solve with all learned clauses kept;
+// repeat until UNSAT, which proves the last model optimal. A binary-search
+// variant (fresh solver per probe) backs the search-strategy ablation.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "sat/cdcl.h"
+#include "util/timer.h"
+
+namespace symcolor {
+
+enum class OptStatus {
+  Optimal,     ///< best_value proved optimal
+  Feasible,    ///< timeout with an incumbent; best_value is an upper bound
+  Infeasible,  ///< constraints unsatisfiable
+  Unknown,     ///< timeout before any model was found
+};
+
+struct OptResult {
+  OptStatus status = OptStatus::Unknown;
+  std::int64_t best_value = 0;
+  std::vector<LBool> model;  ///< empty unless a model was found
+  SolverStats stats;
+  double seconds = 0.0;
+  [[nodiscard]] bool solved() const noexcept {
+    return status == OptStatus::Optimal || status == OptStatus::Infeasible;
+  }
+};
+
+/// Decision query: satisfiability only, objective ignored.
+OptResult solve_decision(const Formula& formula, const SolverConfig& config,
+                         const Deadline& deadline);
+
+/// Minimize the formula's objective by iterative strengthening. A formula
+/// without an objective degenerates to solve_decision.
+OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
+                          const Deadline& deadline);
+
+/// Minimize by binary search on the objective value in [lower_hint, first
+/// incumbent]. Rebuilds the solver per probe; used by the ablation bench.
+OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
+                          const Deadline& deadline,
+                          std::int64_t lower_hint = 0);
+
+}  // namespace symcolor

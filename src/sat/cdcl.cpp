@@ -1,0 +1,567 @@
+#include "sat/cdcl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sat/luby.h"
+
+namespace symcolor {
+
+CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
+    : config_(config), rng_(config.random_seed) {
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  assigns_.assign(n, LBool::Undef);
+  vardata_.assign(n, {});
+  activity_.assign(n, 0.0);
+  polarity_.assign(n, config_.default_phase ? 1 : 0);
+  seen_.assign(n, 0);
+  watches_.assign(2 * n, {});
+  pb_occs_.assign(2 * n, {});
+
+  std::vector<Var> vars(n);
+  for (std::size_t v = 0; v < n; ++v) vars[v] = static_cast<Var>(v);
+  order_.rebuild(vars);
+
+  ok_ = !formula.trivially_unsat();
+  for (const Clause& clause : formula.clauses()) {
+    if (!ok_) break;
+    add_clause(clause);
+  }
+  for (const PbConstraint& c : formula.pb_constraints()) {
+    if (!ok_) break;
+    add_pb(c);
+  }
+  max_learnts_ = std::max(2000.0, static_cast<double>(clauses_.size()) / 3.0);
+}
+
+bool CdclSolver::add_clause(Clause clause) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  // Simplify against the level-0 assignment.
+  Clause simplified;
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    const Lit l = clause[i];
+    if (i + 1 < clause.size() && clause[i + 1].var() == l.var()) return true;
+    if (value(l) == LBool::True) return true;  // already satisfied
+    if (value(l) == LBool::Undef) simplified.push_back(l);
+  }
+  if (simplified.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    enqueue(simplified[0], {ReasonKind::None, -1});
+    if (propagate().valid()) ok_ = false;
+    return ok_;
+  }
+  SolverClause sc;
+  sc.lits = std::move(simplified);
+  attach_clause(std::move(sc));
+  return true;
+}
+
+bool CdclSolver::add_pb(PbConstraint constraint) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  if (constraint.is_tautology()) return true;
+  if (constraint.is_contradiction()) {
+    ok_ = false;
+    return false;
+  }
+  if (constraint.is_clause()) {
+    Clause clause;
+    for (const PbTerm& t : constraint.terms()) clause.push_back(t.lit);
+    return add_clause(std::move(clause));
+  }
+  attach_pb(std::move(constraint));
+  // The new constraint may already be conflicting or unit under the
+  // level-0 assignment; propagate() alone would not notice (no new trail
+  // entries), so check it directly.
+  const PbData& pb = pbs_.back();
+  if (pb.slack < 0) {
+    ok_ = false;
+    return false;
+  }
+  for (const PbTerm& t : pb.terms) {
+    if (t.coeff <= pb.slack) break;
+    if (value(t.lit) == LBool::Undef) {
+      enqueue(t.lit, {ReasonKind::PbRef, static_cast<int>(pbs_.size()) - 1});
+    }
+  }
+  if (propagate().valid()) ok_ = false;
+  return ok_;
+}
+
+int CdclSolver::attach_clause(SolverClause clause) {
+  assert(clause.lits.size() >= 2);
+  const int cref = static_cast<int>(clauses_.size());
+  const Lit w0 = clause.lits[0];
+  const Lit w1 = clause.lits[1];
+  clauses_.push_back(std::move(clause));
+  watches_[static_cast<std::size_t>(w0.code())].push_back({cref, w1});
+  watches_[static_cast<std::size_t>(w1.code())].push_back({cref, w0});
+  return cref;
+}
+
+void CdclSolver::attach_pb(PbConstraint constraint) {
+  PbData data;
+  data.terms.assign(constraint.terms().begin(), constraint.terms().end());
+  data.bound = constraint.bound();
+  const int index = static_cast<int>(pbs_.size());
+  std::int64_t slack = -data.bound;
+  for (const PbTerm& t : data.terms) {
+    pb_occs_[static_cast<std::size_t>(t.lit.code())].push_back({index, t.coeff});
+    // Literals already false at level 0 contribute nothing to slack.
+    if (value(t.lit) != LBool::False) slack += t.coeff;
+  }
+  data.slack = slack;
+  pbs_.push_back(std::move(data));
+}
+
+void CdclSolver::enqueue(Lit l, Reason reason) {
+  assert(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assigns_[v] = lbool_of(!l.negated());
+  vardata_[v].reason = reason;
+  vardata_[v].level = decision_level();
+  vardata_[v].trail_pos = static_cast<int>(trail_.size());
+  trail_.push_back(l);
+  // PB slack bookkeeping: literal ~l just became false.
+  const Lit falsified = ~l;
+  for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+    pbs_[static_cast<std::size_t>(occ.pb_index)].slack -= occ.coeff;
+  }
+}
+
+CdclSolver::Conflict CdclSolver::propagate_pb_for(Lit falsified) {
+  // Slack was already decremented in enqueue(); here we detect conflicts
+  // and propagate forced literals for every constraint containing the
+  // falsified literal.
+  for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+    PbData& pb = pbs_[static_cast<std::size_t>(occ.pb_index)];
+    if (pb.slack < 0) return {ReasonKind::PbRef, occ.pb_index};
+    // A term with coefficient exceeding the slack cannot go false.
+    for (const PbTerm& t : pb.terms) {
+      if (t.coeff <= pb.slack) break;  // terms sorted by descending coeff
+      if (value(t.lit) == LBool::Undef) {
+        enqueue(t.lit, {ReasonKind::PbRef, occ.pb_index});
+      }
+    }
+  }
+  return {};
+}
+
+CdclSolver::Conflict CdclSolver::propagate() {
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
+    ++stats_.propagations;
+    const Lit falsified = ~p;
+
+    // --- clause propagation via two watched literals ---
+    auto& ws = watches_[static_cast<std::size_t>(falsified.code())];
+    std::size_t keep = 0;
+    for (std::size_t read = 0; read < ws.size(); ++read) {
+      const Watcher w = ws[read];
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      SolverClause& clause = clauses_[static_cast<std::size_t>(w.cref)];
+      if (clause.deleted) continue;  // lazily dropped watcher
+      auto& lits = clause.lits;
+      // Ensure the falsified literal sits at position 1.
+      if (lits[0] == falsified) std::swap(lits[0], lits[1]);
+      assert(lits[1] == falsified);
+      if (value(lits[0]) == LBool::True) {
+        ws[keep++] = {w.cref, lits[0]};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[static_cast<std::size_t>(lits[1].code())].push_back(
+              {w.cref, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = w;
+      if (value(lits[0]) == LBool::False) {
+        // Conflict: restore the remaining watchers and report.
+        for (std::size_t rest = read + 1; rest < ws.size(); ++rest) {
+          ws[keep++] = ws[rest];
+        }
+        ws.resize(keep);
+        qhead_ = static_cast<int>(trail_.size());
+        return {ReasonKind::ClauseRef, w.cref};
+      }
+      enqueue(lits[0], {ReasonKind::ClauseRef, w.cref});
+    }
+    ws.resize(keep);
+
+    // --- PB propagation ---
+    const Conflict conflict = propagate_pb_for(falsified);
+    if (conflict.valid()) {
+      qhead_ = static_cast<int>(trail_.size());
+      return conflict;
+    }
+  }
+  return {};
+}
+
+void CdclSolver::collect_reason(Reason reason, Lit implied,
+                                std::vector<Lit>* out) const {
+  out->clear();
+  if (reason.kind == ReasonKind::ClauseRef) {
+    const auto& lits = clauses_[static_cast<std::size_t>(reason.index)].lits;
+    for (const Lit l : lits) {
+      if (l != implied) out->push_back(l);
+    }
+    return;
+  }
+  assert(reason.kind == ReasonKind::PbRef);
+  const PbData& pb = pbs_[static_cast<std::size_t>(reason.index)];
+  // Clausal weakening of the PB implication: the false literals of the
+  // constraint entail `implied` (or a conflict when implied is undef).
+  // For a reason (not a conflict) only literals falsified strictly before
+  // the implied literal may participate, or analyze() would deadlock.
+  const int implied_pos =
+      implied.valid()
+          ? vardata_[static_cast<std::size_t>(implied.var())].trail_pos
+          : static_cast<int>(trail_.size());
+  for (const PbTerm& t : pb.terms) {
+    if (t.lit == implied) continue;
+    if (value(t.lit) != LBool::False) continue;
+    if (vardata_[static_cast<std::size_t>(t.lit.var())].trail_pos >=
+        implied_pos) {
+      continue;
+    }
+    out->push_back(t.lit);
+  }
+}
+
+void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
+                         int* backjump) {
+  learnt->clear();
+  learnt->push_back(kUndefLit);  // slot for the asserting (1UIP) literal
+
+  std::vector<Lit> reason_lits;
+  if (conflict.kind == ReasonKind::ClauseRef) {
+    SolverClause& c = clauses_[static_cast<std::size_t>(conflict.index)];
+    bump_clause(c);
+    reason_lits.assign(c.lits.begin(), c.lits.end());
+  } else {
+    collect_reason({conflict.kind, conflict.index}, kUndefLit, &reason_lits);
+  }
+
+  // Marks stay set for the whole analysis (a current-level variable can
+  // appear in several reasons and must only be counted once); they are
+  // cleared in one sweep at the end.
+  std::vector<Var> to_clear;
+  int counter = 0;
+  Lit p = kUndefLit;
+  int index = static_cast<int>(trail_.size()) - 1;
+  for (;;) {
+    for (const Lit q : reason_lits) {
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen_[v] || level(q.var()) == 0) continue;
+      seen_[v] = 1;
+      to_clear.push_back(q.var());
+      bump_var(q.var());
+      if (level(q.var()) >= decision_level()) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Walk back to the next marked trail literal.
+    while (!seen_[static_cast<std::size_t>(
+        trail_[static_cast<std::size_t>(index)].var())]) {
+      --index;
+    }
+    p = trail_[static_cast<std::size_t>(index)];
+    --index;
+    --counter;
+    if (counter == 0) break;
+    const Reason r = vardata_[static_cast<std::size_t>(p.var())].reason;
+    assert(r.kind != ReasonKind::None);
+    if (r.kind == ReasonKind::ClauseRef) {
+      bump_clause(clauses_[static_cast<std::size_t>(r.index)]);
+    }
+    collect_reason(r, p, &reason_lits);
+  }
+  (*learnt)[0] = ~p;
+
+  stats_.learned_literals += static_cast<std::int64_t>(learnt->size());
+  if (config_.minimize_learned) minimize_learnt(learnt);
+
+  // Compute the backjump level: second-highest level in the clause.
+  if (learnt->size() == 1) {
+    *backjump = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt->size(); ++i) {
+      if (level((*learnt)[i].var()) > level((*learnt)[max_i].var())) max_i = i;
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *backjump = level((*learnt)[1].var());
+  }
+
+  for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = 0;
+}
+
+void CdclSolver::minimize_learnt(std::vector<Lit>* learnt) {
+  // Re-mark so redundancy checks can consult membership.
+  for (const Lit l : *learnt) seen_[static_cast<std::size_t>(l.var())] = 1;
+  std::size_t keep = 1;
+  std::vector<Lit> reason_lits;
+  for (std::size_t i = 1; i < learnt->size(); ++i) {
+    const Lit l = (*learnt)[i];
+    const Reason r = vardata_[static_cast<std::size_t>(l.var())].reason;
+    bool redundant = r.kind != ReasonKind::None;
+    if (redundant) {
+      collect_reason(r, ~l, &reason_lits);
+      for (const Lit q : reason_lits) {
+        if (!seen_[static_cast<std::size_t>(q.var())] && level(q.var()) > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (redundant) {
+      ++stats_.minimized_literals;
+    } else {
+      (*learnt)[keep++] = l;
+    }
+  }
+  // Clear the re-marks before resizing (cover dropped literals too).
+  for (const Lit l : *learnt) seen_[static_cast<std::size_t>(l.var())] = 0;
+  learnt->resize(keep);
+}
+
+void CdclSolver::backtrack(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(target_level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(p.var());
+    // Restore PB slack for the literal that stops being false.
+    const Lit falsified = ~p;
+    for (const PbOcc& occ :
+         pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+      pbs_[static_cast<std::size_t>(occ.pb_index)].slack += occ.coeff;
+    }
+    if (config_.phase_saving) polarity_[v] = p.negated() ? 0 : 1;
+    assigns_[v] = LBool::Undef;
+    vardata_[v].reason = {ReasonKind::None, -1};
+    order_.insert(p.var());
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = bound;
+}
+
+Lit CdclSolver::pick_branch() {
+  if (config_.random_branch_freq > 0.0 &&
+      rng_.uniform() < config_.random_branch_freq) {
+    // Uniform random unassigned variable (diversification).
+    const int n = num_vars();
+    for (int tries = 0; tries < 16; ++tries) {
+      const Var v =
+          static_cast<Var>(rng_.below(static_cast<std::uint64_t>(n)));
+      if (value(v) == LBool::Undef) {
+        return Lit(v, polarity_[static_cast<std::size_t>(v)] == 0);
+      }
+    }
+  }
+  while (!order_.empty()) {
+    const Var v = order_.pop_max();
+    if (value(v) == LBool::Undef) {
+      const bool phase_true = config_.phase_saving
+                                  ? polarity_[static_cast<std::size_t>(v)] != 0
+                                  : config_.default_phase;
+      return Lit(v, !phase_true);
+    }
+  }
+  return kUndefLit;
+}
+
+void CdclSolver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.update(v);
+}
+
+void CdclSolver::bump_clause(SolverClause& c) {
+  if (!c.learnt) return;
+  c.activity += static_cast<float>(clause_inc_);
+  if (c.activity > 1e20f) {
+    for (SolverClause& sc : clauses_) {
+      if (sc.learnt) sc.activity *= 1e-20f;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void CdclSolver::decay_activities() {
+  var_inc_ /= config_.var_decay;
+  clause_inc_ /= config_.clause_decay;
+}
+
+bool CdclSolver::clause_locked(int cref) const {
+  const SolverClause& c = clauses_[static_cast<std::size_t>(cref)];
+  if (c.lits.empty()) return false;
+  const Lit first = c.lits[0];
+  const VarData& vd = vardata_[static_cast<std::size_t>(first.var())];
+  return value(first) == LBool::True &&
+         vd.reason.kind == ReasonKind::ClauseRef && vd.reason.index == cref;
+}
+
+void CdclSolver::reduce_db() {
+  // Collect deletable learnt clauses, drop the less active half.
+  std::vector<int> candidates;
+  for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+    const SolverClause& c = clauses_[static_cast<std::size_t>(i)];
+    if (c.learnt && !c.deleted && c.lits.size() > 2 && !clause_locked(i)) {
+      candidates.push_back(i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  const std::size_t drop = candidates.size() / 2;
+  for (std::size_t i = 0; i < drop; ++i) {
+    clauses_[static_cast<std::size_t>(candidates[i])].deleted = true;
+    --learnt_count_;
+    ++stats_.deleted_clauses;
+  }
+  // Rebuild watch lists without the deleted clauses.
+  for (auto& ws : watches_) ws.clear();
+  for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
+    SolverClause& c = clauses_[static_cast<std::size_t>(i)];
+    if (c.deleted) continue;
+    watches_[static_cast<std::size_t>(c.lits[0].code())].push_back(
+        {i, c.lits[1]});
+    watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
+        {i, c.lits[0]});
+  }
+}
+
+SolveResult CdclSolver::solve(const Deadline& deadline,
+                              std::span<const Lit> assumptions) {
+  if (!ok_) return SolveResult::Unsat;
+  backtrack(0);
+  if (propagate().valid()) {
+    ok_ = false;
+    return SolveResult::Unsat;
+  }
+  for (const Lit a : assumptions) {
+    if (!a.valid() || a.var() >= num_vars()) return SolveResult::Unsat;
+  }
+
+  std::int64_t restart_number = 0;
+  std::vector<Lit> learnt;
+  const std::int64_t conflict_budget = config_.conflict_budget;
+  const std::int64_t start_conflicts = stats_.conflicts;
+
+  for (;;) {
+    const std::int64_t interval =
+        config_.restart_scheme == RestartScheme::Luby
+            ? luby(restart_number + 1) * config_.restart_base
+            : static_cast<std::int64_t>(
+                  static_cast<double>(config_.restart_base) *
+                  std::pow(config_.restart_growth,
+                           static_cast<double>(restart_number)));
+    ++restart_number;
+    ++stats_.restarts;
+
+    std::int64_t conflicts_this_restart = 0;
+    std::int64_t ticks = 0;
+    for (;;) {
+      if (++ticks % 256 == 0 && deadline.expired()) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      if (conflict_budget > 0 &&
+          stats_.conflicts - start_conflicts >= conflict_budget) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      const Conflict conflict = propagate();
+      if (conflict.valid()) {
+        ++stats_.conflicts;
+        ++conflicts_this_restart;
+        if (decision_level() == 0) {
+          ok_ = false;
+          return SolveResult::Unsat;
+        }
+        int backjump = 0;
+        analyze(conflict, &learnt, &backjump);
+        backtrack(backjump);
+        if (learnt.size() == 1) {
+          enqueue(learnt[0], {ReasonKind::None, -1});
+        } else {
+          SolverClause sc;
+          sc.learnt = true;
+          sc.lits = learnt;
+          const int cref = attach_clause(std::move(sc));
+          bump_clause(clauses_[static_cast<std::size_t>(cref)]);
+          enqueue(learnt[0], {ReasonKind::ClauseRef, cref});
+          ++learnt_count_;
+          ++stats_.learned_clauses;
+        }
+        decay_activities();
+        continue;
+      }
+
+      // No conflict: restart, reduce, or decide.
+      if (conflicts_this_restart >= interval) {
+        backtrack(0);
+        break;  // restart
+      }
+      if (static_cast<double>(learnt_count_) >= max_learnts_) {
+        reduce_db();
+        max_learnts_ *= 1.2;
+      }
+
+      // Take pending assumptions as pseudo-decisions first.
+      Lit next = kUndefLit;
+      while (decision_level() < static_cast<int>(assumptions.size())) {
+        const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::True) {
+          new_decision_level();  // already satisfied: dummy level
+        } else if (value(a) == LBool::False) {
+          backtrack(0);
+          return SolveResult::Unsat;  // unsat under assumptions
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (!next.valid()) {
+        next = pick_branch();
+        if (!next.valid()) {
+          // Complete assignment: SAT.
+          model_.assign(assigns_.begin(), assigns_.end());
+          backtrack(0);
+          return SolveResult::Sat;
+        }
+        ++stats_.decisions;
+      }
+      new_decision_level();
+      enqueue(next, {ReasonKind::None, -1});
+    }
+  }
+}
+
+}  // namespace symcolor

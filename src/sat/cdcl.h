@@ -1,0 +1,202 @@
+#pragma once
+// CDCL solver for mixed CNF + pseudo-Boolean formulas.
+//
+// This is the engine underneath all "specialized 0-1 ILP solver"
+// personalities in the paper (PBS / PBS II / Galena / Pueblo): a
+// Davis-Logemann-Loveland backtrack search with
+//   * two-watched-literal propagation for clauses,
+//   * counter-based propagation (slack maintenance) for PB constraints,
+//   * first-UIP conflict-driven clause learning — PB reasons are weakened
+//     to clausal reasons on demand, the classic PBS scheme,
+//   * optional learned-clause minimization (self-subsumption),
+//   * VSIDS variable activity with phase saving,
+//   * Luby or geometric restarts and activity-driven clause deletion.
+//
+// The configuration knobs expose exactly the axes along which the paper's
+// three academic solvers differ; see pb/solver_profiles.h.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "cnf/literals.h"
+#include "sat/heap.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace symcolor {
+
+enum class SolveResult { Sat, Unsat, Unknown };
+
+enum class RestartScheme { Luby, Geometric };
+
+struct SolverConfig {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  RestartScheme restart_scheme = RestartScheme::Luby;
+  /// Conflicts in the first restart interval.
+  std::int64_t restart_base = 100;
+  /// Growth factor for geometric restarts.
+  double restart_growth = 1.5;
+  bool phase_saving = true;
+  /// Initial branching phase when no phase is saved (false = branch to
+  /// the negative literal first, the right default for coloring
+  /// indicators where most variables are 0 in a solution).
+  bool default_phase = false;
+  bool minimize_learned = true;
+  /// Fraction of decisions taken uniformly at random (diversification).
+  double random_branch_freq = 0.0;
+  std::uint64_t random_seed = 0x5EED;
+  /// Hard conflict budget; <= 0 means unlimited.
+  std::int64_t conflict_budget = 0;
+};
+
+struct SolverStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learned_clauses = 0;
+  std::int64_t learned_literals = 0;
+  std::int64_t minimized_literals = 0;
+  std::int64_t deleted_clauses = 0;
+};
+
+/// One solver instance owns a private copy of the formula's constraints.
+/// Usage: construct, optionally add more constraints, then solve().
+class CdclSolver {
+ public:
+  explicit CdclSolver(const Formula& formula, SolverConfig config = {});
+
+  CdclSolver(const CdclSolver&) = delete;
+  CdclSolver& operator=(const CdclSolver&) = delete;
+
+  /// Add a clause after construction (level-0 only; used by the
+  /// optimization loop to strengthen objective bounds between calls).
+  /// Returns false if the addition makes the instance trivially unsat.
+  bool add_clause(Clause clause);
+  /// Add a PB constraint after construction (level-0 only).
+  bool add_pb(PbConstraint constraint);
+
+  /// Solve under optional assumptions. Returns Unknown on deadline or
+  /// conflict-budget exhaustion. Can be called repeatedly; learned
+  /// clauses persist across calls.
+  SolveResult solve(const Deadline& deadline = {},
+                    std::span<const Lit> assumptions = {});
+
+  /// Complete model from the last Sat answer, indexed by variable.
+  [[nodiscard]] const std::vector<LBool>& model() const noexcept {
+    return model_;
+  }
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int num_vars() const noexcept {
+    return static_cast<int>(assigns_.size());
+  }
+
+ private:
+  // ---- constraint storage ----
+  struct SolverClause {
+    float activity = 0.0f;
+    bool learnt = false;
+    bool deleted = false;
+    std::vector<Lit> lits;
+  };
+  struct Watcher {
+    int cref = -1;
+    Lit blocker;
+  };
+  struct PbData {
+    std::vector<PbTerm> terms;
+    std::int64_t bound = 0;
+    std::int64_t slack = 0;  // sum of non-false coefficients minus bound
+  };
+  struct PbOcc {
+    int pb_index = -1;
+    std::int64_t coeff = 0;
+  };
+
+  // ---- reasons ----
+  enum class ReasonKind : std::uint8_t { None, ClauseRef, PbRef };
+  struct Reason {
+    ReasonKind kind = ReasonKind::None;
+    int index = -1;
+  };
+  struct Conflict {
+    ReasonKind kind = ReasonKind::None;
+    int index = -1;
+    [[nodiscard]] bool valid() const noexcept {
+      return kind != ReasonKind::None;
+    }
+  };
+
+  // ---- core operations ----
+  [[nodiscard]] LBool value(Lit l) const noexcept {
+    return lit_value(assigns_[static_cast<std::size_t>(l.var())], l.negated());
+  }
+  [[nodiscard]] LBool value(Var v) const noexcept {
+    return assigns_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int level(Var v) const noexcept {
+    return vardata_[static_cast<std::size_t>(v)].level;
+  }
+  [[nodiscard]] int decision_level() const noexcept {
+    return static_cast<int>(trail_lim_.size());
+  }
+
+  void enqueue(Lit l, Reason reason);
+  Conflict propagate();
+  Conflict propagate_pb_for(Lit falsified);
+  void analyze(Conflict conflict, std::vector<Lit>* learnt, int* backjump);
+  void minimize_learnt(std::vector<Lit>* learnt);
+  void collect_reason(Reason reason, Lit implied, std::vector<Lit>* out) const;
+  void backtrack(int target_level);
+  Lit pick_branch();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  int attach_clause(SolverClause clause);
+  void attach_pb(PbConstraint constraint);
+  void bump_var(Var v);
+  void bump_clause(SolverClause& c);
+  void decay_activities();
+  void reduce_db();
+  [[nodiscard]] bool clause_locked(int cref) const;
+
+  // ---- state ----
+  SolverConfig config_;
+  SolverStats stats_;
+  Rng rng_;
+
+  std::vector<SolverClause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;   // by literal code
+  std::vector<PbData> pbs_;
+  std::vector<std::vector<PbOcc>> pb_occs_;     // by literal code
+
+  std::vector<LBool> assigns_;
+  struct VarData {
+    Reason reason;
+    int level = 0;
+    int trail_pos = -1;
+  };
+  std::vector<VarData> vardata_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  ActivityHeap order_{activity_};
+  std::vector<char> polarity_;  // saved phase, 1 = last value true
+
+  std::vector<char> seen_;      // scratch for analyze()
+  std::vector<Lit> analyze_stack_;
+
+  std::vector<LBool> model_;
+  bool ok_ = true;  // false once level-0 conflict derived
+  std::int64_t learnt_count_ = 0;
+  double max_learnts_ = 0.0;
+};
+
+}  // namespace symcolor

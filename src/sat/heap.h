@@ -1,0 +1,55 @@
+#pragma once
+// Indexed max-heap over variables keyed by activity score.
+//
+// The VSIDS decision order needs three operations the standard library
+// does not combine: pop-max, increase-key for an arbitrary variable, and
+// membership test. This is the classic MiniSat order heap.
+
+#include <vector>
+
+#include "cnf/literals.h"
+
+namespace symcolor {
+
+class ActivityHeap {
+ public:
+  /// `activity` must outlive the heap; scores are read through it on every
+  /// comparison so bumps are picked up via update().
+  explicit ActivityHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] bool contains(Var v) const noexcept {
+    return v >= 0 && v < static_cast<Var>(index_.size()) && index_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  /// Insert `v` if absent.
+  void insert(Var v);
+
+  /// Restore heap order around `v` after its activity changed.
+  void update(Var v);
+
+  /// Remove and return the variable with maximal activity.
+  Var pop_max();
+
+  /// Drop everything and rebuild from `vars`.
+  void rebuild(const std::vector<Var>& vars);
+
+ private:
+  [[nodiscard]] bool less(Var a, Var b) const noexcept {
+    return activity_[static_cast<std::size_t>(a)] <
+           activity_[static_cast<std::size_t>(b)];
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void place(std::size_t i, Var v) {
+    heap_[i] = v;
+    index_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<int> index_;  // var -> heap position, -1 when absent
+};
+
+}  // namespace symcolor

@@ -1,0 +1,23 @@
+#include "sat/luby.h"
+
+namespace symcolor {
+
+std::int64_t luby(std::int64_t i) {
+  // MiniSat's formulation, 0-based index x = i - 1. Returns 2^seq where
+  // seq is the recursion depth at which x sits in the sequence.
+  std::int64_t x = i - 1;
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return 1LL << seq;
+}
+
+}  // namespace symcolor

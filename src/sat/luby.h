@@ -1,0 +1,11 @@
+#pragma once
+// The Luby restart sequence 1,1,2,1,1,2,4,... used by the CDCL engine.
+
+#include <cstdint>
+
+namespace symcolor {
+
+/// i-th element (1-based) of the Luby sequence.
+std::int64_t luby(std::int64_t i);
+
+}  // namespace symcolor

@@ -1,0 +1,95 @@
+#include "symmetry/lexleader.h"
+
+#include <vector>
+
+namespace symcolor {
+namespace {
+
+/// Support of a literal permutation as variable indices, ascending: the
+/// variables whose positive literal moves.
+std::vector<Var> support_vars(const Perm& lit_perm) {
+  std::vector<Var> vars;
+  for (int code = 0; code < static_cast<int>(lit_perm.size()); code += 2) {
+    if (lit_perm[static_cast<std::size_t>(code)] != code) {
+      vars.push_back(code >> 1);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+LexLeaderStats add_lex_leader_sbps(Formula& formula,
+                                   std::span<const Perm> literal_perms,
+                                   int max_support) {
+  LexLeaderStats stats;
+  for (const Perm& pi : literal_perms) {
+    std::vector<Var> vars = support_vars(pi);
+    if (vars.empty()) continue;
+    if (max_support > 0 && static_cast<int>(vars.size()) > max_support) {
+      vars.resize(static_cast<std::size_t>(max_support));
+    }
+    ++stats.generators_used;
+
+    const int before_clauses = formula.num_clauses();
+    Lit prev_e = kUndefLit;  // e_0 == true is represented by "no literal"
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Lit x = Lit::positive(vars[i]);
+      const Lit y = Lit::from_code(pi[static_cast<std::size_t>(x.code())]);
+      // e_{i-1} -> (x <= y)
+      Clause ordering{~x, y};
+      if (prev_e.valid()) ordering.push_back(~prev_e);
+      formula.add_clause(std::move(ordering));
+
+      if (i + 1 == vars.size()) break;  // no successor needs e_i
+      const Lit e = Lit::positive(formula.new_var());
+      ++stats.vars_added;
+      // e_{i-1} /\ x /\ y -> e   and   e_{i-1} /\ ~x /\ ~y -> e.
+      // (Tautological instances, e.g. phase-shift images y == ~x, are
+      // dropped by Formula::add_clause; e then floats free, which is
+      // sound: the prefix can never be equal past a phase-shifted
+      // variable.)
+      Clause both_true{~x, ~y, e};
+      Clause both_false{x, y, e};
+      if (prev_e.valid()) {
+        both_true.push_back(~prev_e);
+        both_false.push_back(~prev_e);
+      }
+      formula.add_clause(std::move(both_true));
+      formula.add_clause(std::move(both_false));
+      prev_e = e;
+    }
+    stats.clauses_added += formula.num_clauses() - before_clauses;
+  }
+  return stats;
+}
+
+LexLeaderStats add_lex_leader_sbps_quadratic(Formula& formula,
+                                             std::span<const Perm> literal_perms,
+                                             int max_support) {
+  LexLeaderStats stats;
+  for (const Perm& pi : literal_perms) {
+    std::vector<Var> vars = support_vars(pi);
+    if (vars.empty()) continue;
+    if (max_support > 0 && static_cast<int>(vars.size()) > max_support) {
+      vars.resize(static_cast<std::size_t>(max_support));
+    }
+    ++stats.generators_used;
+
+    const int before_clauses = formula.num_clauses();
+    Clause prefix;  // accumulates ~x_1 .. ~x_{i-1}
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const Lit x = Lit::positive(vars[i]);
+      const Lit y = Lit::from_code(pi[static_cast<std::size_t>(x.code())]);
+      Clause clause = prefix;
+      clause.push_back(~x);
+      clause.push_back(y);
+      formula.add_clause(std::move(clause));
+      prefix.push_back(~x);
+    }
+    stats.clauses_added += formula.num_clauses() - before_clauses;
+  }
+  return stats;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,39 @@
+#include "symmetry/shatter.h"
+
+#include "symmetry/formula_graph.h"
+#include "util/logging.h"
+
+namespace symcolor {
+
+SymmetryInfo detect_symmetries(const Formula& formula,
+                               const Deadline& deadline) {
+  SymmetryInfo info;
+  Timer timer;
+  const FormulaGraph fg = build_formula_graph(formula);
+  const AutomorphismResult result =
+      find_automorphisms(fg.graph, fg.vertex_colors, deadline);
+  info.complete = result.complete;
+  info.log10_order = result.log10_order;
+  for (const Perm& graph_perm : result.generators) {
+    Perm lit_perm = literal_permutation(fg, graph_perm);
+    if (lit_perm.empty() || !is_formula_symmetry(formula, lit_perm)) {
+      ++info.spurious_rejected;
+      SYMCOLOR_WARN() << "discarding spurious symmetry generator";
+      continue;
+    }
+    info.generators.push_back(std::move(lit_perm));
+  }
+  info.detect_seconds = timer.seconds();
+  return info;
+}
+
+ShatterStats shatter(Formula& formula, const Deadline& detect_deadline,
+                     int max_support) {
+  ShatterStats stats;
+  stats.symmetry = detect_symmetries(formula, detect_deadline);
+  stats.sbp =
+      add_lex_leader_sbps(formula, stats.symmetry.generators, max_support);
+  return stats;
+}
+
+}  // namespace symcolor

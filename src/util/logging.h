@@ -1,0 +1,47 @@
+#pragma once
+// Minimal leveled logging for library diagnostics.
+//
+// The library is quiet by default (level Warn); benches and examples raise
+// the level explicitly. Logging goes to stderr so it never mixes with
+// structured results on stdout.
+
+#include <sstream>
+#include <string>
+
+namespace symcolor {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum severity that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a single log line (severity tag + message) if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SYMCOLOR_LOG(level) ::symcolor::detail::LogLine(level)
+#define SYMCOLOR_DEBUG() SYMCOLOR_LOG(::symcolor::LogLevel::Debug)
+#define SYMCOLOR_INFO() SYMCOLOR_LOG(::symcolor::LogLevel::Info)
+#define SYMCOLOR_WARN() SYMCOLOR_LOG(::symcolor::LogLevel::Warn)
+
+}  // namespace symcolor

@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace symcolor {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias for small bounds.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace symcolor

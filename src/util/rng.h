@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (benchmark generators, VSIDS tie-breaking,
+// property-based tests) takes an explicit Rng so runs are reproducible
+// from a seed. The generator is SplitMix64 — tiny, fast, and statistically
+// adequate for workload synthesis (not for cryptography).
+
+#include <cstdint>
+#include <vector>
+
+namespace symcolor {
+
+/// SplitMix64 generator with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept
+      : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of 0..n-1.
+  std::vector<int> permutation(int n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace symcolor

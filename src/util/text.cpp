@@ -1,0 +1,68 @@
+#include "util/text.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace symcolor {
+
+std::vector<std::string> split_tokens(std::string_view input,
+                                      std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && delims.find(input[i]) != std::string_view::npos) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < input.size() && delims.find(input[i]) == std::string_view::npos) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const std::string_view ws = " \t\r\n";
+  const std::size_t first = s.find_first_not_of(ws);
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = s.find_last_not_of(ws);
+  return s.substr(first, last - first + 1);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_seconds(double seconds, bool timed_out) {
+  if (timed_out) return "T/O";
+  char buf[32];
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 10.0) {
+    std::snprintf(buf, sizeof buf, "%.2f", seconds);
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", seconds);
+  }
+  return buf;
+}
+
+std::string format_pow10(double log10_count) {
+  if (log10_count < 0.0) log10_count = 0.0;
+  // Small orders print exactly (e.g. "20"), large ones in m.me+dd form
+  // mirroring the paper's Table 2.
+  if (log10_count < 15.0) {
+    const double value = std::pow(10.0, log10_count);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3g", value);
+    return buf;
+  }
+  const double exponent = std::floor(log10_count);
+  const double mantissa = std::pow(10.0, log10_count - exponent);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1fe+%02.0f", mantissa, exponent);
+  return buf;
+}
+
+}  // namespace symcolor

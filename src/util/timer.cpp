@@ -1,0 +1,13 @@
+#include "util/timer.h"
+
+#include <limits>
+
+namespace symcolor {
+
+double Deadline::remaining() const noexcept {
+  if (unlimited()) return std::numeric_limits<double>::infinity();
+  const double left = budget_seconds_ - timer_.seconds();
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace symcolor

@@ -1,0 +1,61 @@
+#pragma once
+// Wall-clock timing utilities used by solvers and the benchmark harness.
+//
+// All solver components that enforce time budgets share a single Timer /
+// Deadline abstraction so that "timeout" means the same thing in tests,
+// benches, and the public API.
+
+#include <chrono>
+#include <cstdint>
+
+namespace symcolor {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch from zero.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline expressed as a second budget. A budget of <= 0 means
+/// "no limit". Cheap to copy; solvers poll expired() at coarse intervals.
+class Deadline {
+ public:
+  Deadline() noexcept : budget_seconds_(0.0) {}
+  explicit Deadline(double budget_seconds) noexcept
+      : budget_seconds_(budget_seconds) {}
+
+  /// True when a positive budget was set and it has been consumed.
+  [[nodiscard]] bool expired() const noexcept {
+    return budget_seconds_ > 0.0 && timer_.seconds() >= budget_seconds_;
+  }
+
+  /// Seconds remaining; +inf when unlimited, never negative.
+  [[nodiscard]] double remaining() const noexcept;
+
+  /// Seconds consumed since the deadline was armed.
+  [[nodiscard]] double elapsed() const noexcept { return timer_.seconds(); }
+
+  [[nodiscard]] bool unlimited() const noexcept { return budget_seconds_ <= 0.0; }
+  [[nodiscard]] double budget() const noexcept { return budget_seconds_; }
+
+ private:
+  Timer timer_;
+  double budget_seconds_;
+};
+
+}  // namespace symcolor

@@ -1,0 +1,102 @@
+// Tests for greedy and exact clique computation.
+
+#include <gtest/gtest.h>
+
+#include "graph/clique.h"
+#include "graph/generators.h"
+
+namespace symcolor {
+namespace {
+
+Graph complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(GreedyClique, EmptyGraph) {
+  Graph g(0);
+  EXPECT_TRUE(greedy_clique(g).empty());
+}
+
+TEST(GreedyClique, SingleVertex) {
+  Graph g(1);
+  g.finalize();
+  EXPECT_EQ(greedy_clique(g).size(), 1u);
+}
+
+TEST(GreedyClique, FindsCompleteGraph) {
+  const Graph g = complete(6);
+  EXPECT_EQ(greedy_clique(g).size(), 6u);
+}
+
+TEST(GreedyClique, ResultIsAlwaysClique) {
+  const Graph g = make_random_gnm(40, 300, 11);
+  const auto clique = greedy_clique(g);
+  EXPECT_TRUE(is_clique(g, clique));
+  EXPECT_GE(clique.size(), 2u);
+}
+
+TEST(GreedyClique, EdgelessGraphGivesSingleton) {
+  Graph g(5);
+  g.finalize();
+  EXPECT_EQ(greedy_clique(g).size(), 1u);
+}
+
+TEST(MaxClique, CompleteGraphExact) {
+  bool proved = false;
+  const auto clique = max_clique(complete(7), Deadline{}, &proved);
+  EXPECT_EQ(clique.size(), 7u);
+  EXPECT_TRUE(proved);
+}
+
+TEST(MaxClique, CycleOfFive) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, (i + 1) % 5);
+  g.finalize();
+  EXPECT_EQ(max_clique(g).size(), 2u);
+}
+
+TEST(MaxClique, PlantedCliqueFound) {
+  // A 9-clique planted in a sparse background must be found exactly.
+  const Graph g = make_book_graph(50, 250, 9, 77);
+  bool proved = false;
+  const auto clique = max_clique(g, Deadline{}, &proved);
+  EXPECT_TRUE(proved);
+  EXPECT_EQ(clique.size(), 9u);
+  EXPECT_TRUE(is_clique(g, clique));
+}
+
+TEST(MaxClique, QueenGraphKnownValue) {
+  // queen5_5 contains a 5-clique (a row) and no 6-clique.
+  const auto clique = max_clique(make_queen_graph(5, 5));
+  EXPECT_EQ(clique.size(), 5u);
+}
+
+TEST(MaxClique, MycielskiIsTriangleFree) {
+  const auto clique = max_clique(make_mycielski(5));
+  EXPECT_EQ(clique.size(), 2u);
+}
+
+TEST(MaxClique, AtLeastGreedy) {
+  const Graph g = make_random_gnm(35, 250, 5);
+  EXPECT_GE(max_clique(g).size(), greedy_clique(g).size());
+}
+
+TEST(IsClique, Basics) {
+  const Graph g = complete(4);
+  EXPECT_TRUE(is_clique(g, {0, 1, 2, 3}));
+  EXPECT_TRUE(is_clique(g, {2}));
+  EXPECT_TRUE(is_clique(g, {}));
+  Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.finalize();
+  EXPECT_FALSE(is_clique(path, {0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,261 @@
+// Tests for the benchmark generators: exact families are verified against
+// known mathematics (queen graphs, Mycielski), synthetic families against
+// their structural guarantees (size, planted clique, k-partiteness).
+
+#include <gtest/gtest.h>
+
+#include "coloring/heuristics.h"
+#include "graph/clique.h"
+#include "graph/generators.h"
+
+namespace symcolor {
+namespace {
+
+TEST(QueenGraph, FiveByFiveMatchesDimacs) {
+  // DIMACS queen5_5 lists 320 directed edge records = 160 undirected
+  // edges (paper Table 1 copies the doubled file counts).
+  const Graph g = make_queen_graph(5, 5);
+  EXPECT_EQ(g.num_vertices(), 25);
+  EXPECT_EQ(g.num_edges(), 160);
+}
+
+TEST(QueenGraph, SixBySixMatchesDimacs) {
+  const Graph g = make_queen_graph(6, 6);
+  EXPECT_EQ(g.num_vertices(), 36);
+  EXPECT_EQ(g.num_edges(), 290);
+}
+
+TEST(QueenGraph, SevenBySevenMatchesDimacs) {
+  const Graph g = make_queen_graph(7, 7);
+  EXPECT_EQ(g.num_vertices(), 49);
+  EXPECT_EQ(g.num_edges(), 476);
+}
+
+TEST(QueenGraph, EightByTwelveMatchesDimacs) {
+  const Graph g = make_queen_graph(8, 12);
+  EXPECT_EQ(g.num_vertices(), 96);
+  EXPECT_EQ(g.num_edges(), 1368);
+}
+
+TEST(QueenGraph, RowsAreCliques) {
+  const Graph g = make_queen_graph(4, 4);
+  for (int r = 0; r < 4; ++r) {
+    std::vector<int> row;
+    for (int c = 0; c < 4; ++c) row.push_back(r * 4 + c);
+    EXPECT_TRUE(is_clique(g, row));
+  }
+}
+
+TEST(QueenGraph, DiagonalAttacks) {
+  const Graph g = make_queen_graph(3, 3);
+  EXPECT_TRUE(g.has_edge(0, 4));   // (0,0)-(1,1)
+  EXPECT_TRUE(g.has_edge(0, 8));   // (0,0)-(2,2)
+  EXPECT_TRUE(g.has_edge(2, 4));   // (0,2)-(1,1)
+  EXPECT_FALSE(g.has_edge(0, 5));  // (0,0)-(1,2): knight move, no attack
+}
+
+TEST(QueenGraph, RejectsEmptyBoard) {
+  EXPECT_THROW(make_queen_graph(0, 3), std::invalid_argument);
+}
+
+TEST(Mycielski, SizesFollowRecurrence) {
+  // |M_{k+1}| = 2|M_k| + 1 starting from |M_2| = 2.
+  EXPECT_EQ(make_mycielski(2).num_vertices(), 2);
+  EXPECT_EQ(make_mycielski(3).num_vertices(), 5);
+  EXPECT_EQ(make_mycielski(4).num_vertices(), 11);
+  EXPECT_EQ(make_mycielski(5).num_vertices(), 23);
+  EXPECT_EQ(make_mycielski(6).num_vertices(), 47);
+}
+
+TEST(Mycielski, DimacsNamesMatchTable1) {
+  const Graph m3 = make_myciel_dimacs(3);
+  EXPECT_EQ(m3.num_vertices(), 11);
+  EXPECT_EQ(m3.num_edges(), 20);
+  const Graph m4 = make_myciel_dimacs(4);
+  EXPECT_EQ(m4.num_vertices(), 23);
+  EXPECT_EQ(m4.num_edges(), 71);
+  const Graph m5 = make_myciel_dimacs(5);
+  EXPECT_EQ(m5.num_vertices(), 47);
+  EXPECT_EQ(m5.num_edges(), 236);
+}
+
+TEST(Mycielski, TriangleFree) {
+  const Graph g = make_mycielski(5);
+  // No triangle: for every edge, neighbourhoods are disjoint.
+  for (const Edge& e : g.edges()) {
+    for (const int w : g.neighbors(e.u)) {
+      EXPECT_FALSE(g.has_edge(w, e.v) && w != e.v)
+          << "triangle " << e.u << " " << e.v << " " << w;
+    }
+  }
+}
+
+TEST(Mycielski, M3IsC5) {
+  const Graph g = make_mycielski(3);
+  EXPECT_EQ(g.num_edges(), 5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(RandomGnm, ExactEdgeCount) {
+  const Graph g = make_random_gnm(50, 200, 123);
+  EXPECT_EQ(g.num_vertices(), 50);
+  EXPECT_EQ(g.num_edges(), 200);
+}
+
+TEST(RandomGnm, Deterministic) {
+  const Graph a = make_random_gnm(30, 100, 7);
+  const Graph b = make_random_gnm(30, 100, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)],
+              b.edges()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RandomGnm, SeedsDiffer) {
+  const Graph a = make_random_gnm(30, 100, 7);
+  const Graph b = make_random_gnm(30, 100, 8);
+  bool any_difference = false;
+  for (int i = 0; i < a.num_edges(); ++i) {
+    if (a.edges()[static_cast<std::size_t>(i)] !=
+        b.edges()[static_cast<std::size_t>(i)]) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomGnm, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(make_random_gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(RandomGnm, CompleteGraphBoundary) {
+  const Graph g = make_random_gnm(5, 10, 3);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+TEST(BookGraph, SizeAndPlantedClique) {
+  const Graph g = make_book_graph(60, 300, 8, 99);
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 300);
+  std::vector<int> planted;
+  for (int v = 0; v < 8; ++v) planted.push_back(v);
+  EXPECT_TRUE(is_clique(g, planted));
+}
+
+TEST(BookGraph, ChromaticNumberEqualsClique) {
+  // k-partite + planted k-clique => chromatic number exactly k. The
+  // modulo coloring v % k witnesses k-colorability; the clique forces k.
+  const int k = 8;
+  const Graph g = make_book_graph(60, 300, k, 99);
+  std::vector<int> modulo(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    modulo[static_cast<std::size_t>(v)] = v % k;
+  }
+  EXPECT_TRUE(g.is_proper_coloring(modulo));
+}
+
+TEST(BookGraph, IsKPartite) {
+  const int k = 8;
+  const Graph g = make_book_graph(60, 300, k, 99);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u % k, e.v % k) << "intra-group edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(GamesGraph, NearRegularDegrees) {
+  const Graph g = make_games_graph(120, 1276, 9, 5);
+  EXPECT_EQ(g.num_edges(), 1276);
+  int min_deg = g.num_vertices(), max_deg = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    min_deg = std::min(min_deg, g.degree(v));
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Average degree ~21; the min-biased proposer keeps the spread tight
+  // relative to a plain random graph.
+  EXPECT_GE(min_deg, 8);
+  EXPECT_LE(max_deg, 40);
+}
+
+TEST(GeometricGraph, HitsEdgeTargetApproximately) {
+  const Graph g = make_geometric_graph(128, 774, 42);
+  EXPECT_EQ(g.num_vertices(), 128);
+  EXPECT_NEAR(g.num_edges(), 774, 40);
+}
+
+TEST(GeometricGraph, Deterministic) {
+  const Graph a = make_geometric_graph(50, 200, 1);
+  const Graph b = make_geometric_graph(50, 200, 1);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(RegisterGraph, PressureCliquePinned) {
+  const int pressure = 12;
+  const Graph g = make_register_graph(80, 900, pressure, 3);
+  EXPECT_EQ(g.num_edges(), 900);
+  std::vector<int> clique;
+  for (int v = 0; v < pressure; ++v) clique.push_back(v);
+  EXPECT_TRUE(is_clique(g, clique));
+  // The modulo coloring witnesses pressure-colorability.
+  std::vector<int> modulo(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    modulo[static_cast<std::size_t>(v)] = v % pressure;
+  }
+  EXPECT_TRUE(g.is_proper_coloring(modulo));
+}
+
+TEST(DimacsSuite, HasTwentyInstancesInTableOrder) {
+  const auto suite = dimacs_suite();
+  ASSERT_EQ(suite.size(), 20u);
+  EXPECT_EQ(suite.front().name, "anna");
+  EXPECT_EQ(suite.back().name, "zeroin.i.3");
+}
+
+TEST(DimacsSuite, SizesMatchTable1) {
+  const auto suite = dimacs_suite();
+  for (const Instance& inst : suite) {
+    if (inst.name == "anna") {
+      EXPECT_EQ(inst.graph.num_vertices(), 138);
+      EXPECT_EQ(inst.graph.num_edges(), 986);
+    } else if (inst.name == "queen8_12") {
+      EXPECT_EQ(inst.graph.num_vertices(), 96);
+      EXPECT_EQ(inst.graph.num_edges(), 1368);  // 2736 directed records
+    } else if (inst.name == "zeroin.i.1") {
+      EXPECT_EQ(inst.graph.num_vertices(), 211);
+      EXPECT_EQ(inst.graph.num_edges(), 4100);
+    }
+  }
+}
+
+TEST(DimacsSuite, PinnedChromaticNumbersAreHeuristicallyReachable) {
+  for (const Instance& inst : dimacs_suite()) {
+    if (inst.chromatic_number < 0) continue;
+    const auto coloring = dsatur_coloring(inst.graph);
+    EXPECT_TRUE(inst.graph.is_proper_coloring(coloring)) << inst.name;
+    // DSATUR can overshoot on the exact families; it must never beat the
+    // pinned chromatic number.
+    EXPECT_GE(Graph::count_colors(coloring), inst.chromatic_number)
+        << inst.name;
+  }
+}
+
+TEST(DimacsSuite, Deterministic) {
+  const auto a = dimacs_suite();
+  const auto b = dimacs_suite();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges()) << a[i].name;
+  }
+}
+
+TEST(QueensSuite, MatchesAppendixInstances) {
+  const auto suite = queens_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "queen5_5");
+  EXPECT_EQ(suite[3].name, "queen8_12");
+  EXPECT_EQ(suite[3].chromatic_number, 12);
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,240 @@
+// Tests for the optimization layer (linear/binary minimization) and the
+// generic branch-and-bound ILP solver (CPLEX stand-in).
+
+#include <gtest/gtest.h>
+
+#include "pb/generic_ilp.h"
+#include "pb/optimizer.h"
+#include "pb/solver_profiles.h"
+#include "util/rng.h"
+
+namespace symcolor {
+namespace {
+
+/// MIN sum x subject to "at least `lower` of the n variables true".
+Formula min_true_vars(int n, int lower) {
+  Formula f;
+  const Var first = f.new_vars(n);
+  std::vector<Lit> lits;
+  Objective obj;
+  for (int i = 0; i < n; ++i) {
+    lits.push_back(Lit::positive(first + i));
+    obj.terms.push_back({1, Lit::positive(first + i)});
+  }
+  f.add_at_least(lits, lower);
+  f.set_objective(obj);
+  return f;
+}
+
+/// Brute-force optimum of a formula with small var count.
+std::int64_t brute_force_min(const Formula& f) {
+  const int n = f.num_vars();
+  std::int64_t best = -1;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<LBool> vals(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] =
+          (mask >> i) & 1 ? LBool::True : LBool::False;
+    }
+    if (!f.satisfied_by(vals)) continue;
+    const std::int64_t value = f.objective()->value(vals);
+    if (best < 0 || value < best) best = value;
+  }
+  return best;
+}
+
+TEST(MinimizeLinear, SimpleCardinalityObjective) {
+  const Formula f = min_true_vars(6, 3);
+  const OptResult r = minimize_linear(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_EQ(r.best_value, 3);
+  EXPECT_TRUE(f.satisfied_by(r.model));
+}
+
+TEST(MinimizeLinear, InfeasibleReported) {
+  Formula f = min_true_vars(3, 2);
+  // Forbid every variable: infeasible.
+  for (int i = 0; i < 3; ++i) f.add_unit(Lit::negative(i));
+  const OptResult r = minimize_linear(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(MinimizeLinear, NoObjectiveDegeneratesToDecision) {
+  Formula f;
+  const Var a = f.new_var();
+  f.add_unit(Lit::positive(a));
+  const OptResult r = minimize_linear(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_FALSE(r.model.empty());
+}
+
+TEST(MinimizeLinear, ZeroOptimumWhenUnconstrained) {
+  Formula f;
+  Objective obj;
+  const Var first = f.new_vars(4);
+  for (int i = 0; i < 4; ++i) obj.terms.push_back({1, Lit::positive(first + i)});
+  f.set_objective(obj);
+  const OptResult r = minimize_linear(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_EQ(r.best_value, 0);
+}
+
+TEST(MinimizeLinear, WeightedObjective) {
+  // minimize 5a + b + c subject to a | b, a | c: optimum b=c=1 => 2.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  const Var c = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  f.add_clause({Lit::positive(a), Lit::positive(c)});
+  Objective obj;
+  obj.terms = {{5, Lit::positive(a)}, {1, Lit::positive(b)}, {1, Lit::positive(c)}};
+  f.set_objective(obj);
+  const OptResult r = minimize_linear(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_EQ(r.best_value, 2);
+}
+
+TEST(MinimizeBinary, MatchesLinear) {
+  const Formula f = min_true_vars(7, 4);
+  const OptResult lin = minimize_linear(f, {}, {});
+  const OptResult bin = minimize_binary(f, {}, {});
+  EXPECT_EQ(bin.status, OptStatus::Optimal);
+  EXPECT_EQ(bin.best_value, lin.best_value);
+}
+
+TEST(MinimizeBinary, InfeasibleReported) {
+  Formula f = min_true_vars(3, 2);
+  for (int i = 0; i < 3; ++i) f.add_unit(Lit::negative(i));
+  const OptResult r = minimize_binary(f, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(GenericIlp, SimpleOptimum) {
+  const Formula f = min_true_vars(6, 3);
+  const OptResult r = solve_generic_ilp(f, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_EQ(r.best_value, 3);
+  EXPECT_TRUE(f.satisfied_by(r.model));
+}
+
+TEST(GenericIlp, Infeasible) {
+  Formula f;
+  const Var a = f.new_var();
+  f.add_unit(Lit::positive(a));
+  f.add_unit(Lit::negative(a));
+  const OptResult r = solve_generic_ilp(f, {});
+  EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(GenericIlp, DecisionModeWithoutObjective) {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  f.add_clause({Lit::negative(a), Lit::negative(b)});
+  const OptResult r = solve_generic_ilp(f, {});
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_TRUE(f.satisfied_by(r.model));
+}
+
+TEST(GenericIlp, RejectsNonCardinalityPb) {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_pb(PbConstraint::at_least(
+      {{2, Lit::positive(a)}, {1, Lit::positive(b)}}, 2));
+  EXPECT_THROW((void)solve_generic_ilp(f, {}), std::invalid_argument);
+}
+
+TEST(GenericIlp, NoLearningStats) {
+  const Formula f = min_true_vars(5, 2);
+  const OptResult r = solve_generic_ilp(f, {});
+  EXPECT_EQ(r.stats.learned_clauses, 0);
+  EXPECT_EQ(r.stats.restarts, 0);
+}
+
+TEST(SolverProfiles, AllCdclKindsHaveConfigs) {
+  for (const SolverKind kind :
+       {SolverKind::PbsOriginal, SolverKind::PbsII, SolverKind::Galena,
+        SolverKind::Pueblo}) {
+    EXPECT_NO_THROW((void)profile_config(kind));
+  }
+  EXPECT_THROW((void)profile_config(SolverKind::GenericIlp),
+               std::invalid_argument);
+}
+
+TEST(SolverProfiles, NamesAreDistinct) {
+  EXPECT_EQ(solver_name(SolverKind::PbsII), "PBS II");
+  EXPECT_NE(solver_name(SolverKind::Galena), solver_name(SolverKind::Pueblo));
+}
+
+TEST(SolverProfiles, ConfigsDiffer) {
+  const SolverConfig pbs2 = profile_config(SolverKind::PbsII);
+  const SolverConfig galena = profile_config(SolverKind::Galena);
+  const SolverConfig pueblo = profile_config(SolverKind::Pueblo);
+  EXPECT_NE(pbs2.restart_scheme == galena.restart_scheme &&
+                pbs2.var_decay == galena.var_decay,
+            true);
+  EXPECT_NE(pueblo.restart_base, pbs2.restart_base);
+}
+
+// Randomized optimization cross-checks, all four CDCL personalities.
+struct OptSweepParams {
+  std::uint64_t seed;
+  SolverKind kind;
+};
+
+class OptimizerSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(OptimizerSweep, MatchesBruteForce) {
+  const auto [seed, kind_index] = GetParam();
+  const SolverKind kinds[] = {SolverKind::PbsOriginal, SolverKind::PbsII,
+                              SolverKind::Galena, SolverKind::Pueblo};
+  const SolverKind kind = kinds[kind_index];
+
+  Rng rng(seed);
+  const int vars = 7;
+  Formula f;
+  f.new_vars(vars);
+  for (int c = 0; c < 6; ++c) {
+    Clause clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(vars)), rng.chance(0.5)));
+    }
+    f.add_clause(std::move(clause));
+  }
+  std::vector<Lit> lits;
+  for (int i = 0; i < vars; ++i) lits.push_back(Lit::positive(i));
+  f.add_at_least(lits, 1 + static_cast<std::int64_t>(rng.below(3)));
+  Objective obj;
+  for (int i = 0; i < vars; ++i) obj.terms.push_back({1, Lit::positive(i)});
+  f.set_objective(obj);
+
+  const std::int64_t expected = brute_force_min(f);
+  const OptResult r = minimize_linear(f, profile_config(kind), {});
+  if (expected < 0) {
+    EXPECT_EQ(r.status, OptStatus::Infeasible);
+  } else {
+    EXPECT_EQ(r.status, OptStatus::Optimal);
+    EXPECT_EQ(r.best_value, expected);
+  }
+
+  // The generic B&B must agree as well.
+  const OptResult g = solve_generic_ilp(f, {});
+  if (expected < 0) {
+    EXPECT_EQ(g.status, OptStatus::Infeasible);
+  } else {
+    EXPECT_EQ(g.status, OptStatus::Optimal);
+    EXPECT_EQ(g.best_value, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerSweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(200, 208),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,158 @@
+// Tests for permutation utilities and the Schreier-Sims group.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "automorphism/group.h"
+#include "automorphism/perm.h"
+
+namespace symcolor {
+namespace {
+
+TEST(Perm, IdentityBasics) {
+  const Perm id = identity_perm(5);
+  EXPECT_TRUE(is_identity(id));
+  EXPECT_TRUE(is_permutation(id));
+  EXPECT_TRUE(support(id).empty());
+}
+
+TEST(Perm, IsPermutationRejectsBadVectors) {
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 0}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{-1, 0}));
+  EXPECT_TRUE(is_permutation(std::vector<int>{1, 0}));
+}
+
+TEST(Perm, ComposeAppliesLeftThenRight) {
+  // a: 0->1->2->0; b: swap 0,1. compose(a,b)[0] = b[a[0]] = b[1] = 0.
+  const Perm a{1, 2, 0};
+  const Perm b{1, 0, 2};
+  const Perm c = compose(a, b);
+  EXPECT_EQ(c[0], 0);
+  EXPECT_EQ(c[1], 2);
+  EXPECT_EQ(c[2], 1);
+}
+
+TEST(Perm, InverseComposesToIdentity) {
+  const Perm p{2, 0, 3, 1, 4};
+  EXPECT_TRUE(is_identity(compose(p, inverse(p))));
+  EXPECT_TRUE(is_identity(compose(inverse(p), p)));
+}
+
+TEST(Perm, SupportListsMovedPoints) {
+  const Perm p{0, 2, 1, 3};
+  const auto s = support(p);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 2);
+}
+
+TEST(Perm, CycleDecomposition) {
+  const Perm p{1, 0, 3, 4, 2};
+  const auto cs = cycles(p);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(cs[1], (std::vector<int>{2, 3, 4}));
+}
+
+TEST(Perm, OrderIsLcmOfCycleLengths) {
+  const Perm p{1, 0, 3, 4, 2};  // 2-cycle and 3-cycle
+  EXPECT_EQ(perm_order(p), 6);
+  EXPECT_EQ(perm_order(identity_perm(4)), 1);
+}
+
+TEST(PermGroup, TrivialGroup) {
+  PermGroup g(5);
+  EXPECT_DOUBLE_EQ(static_cast<double>(g.order()), 1.0);
+  EXPECT_DOUBLE_EQ(g.log10_order(), 0.0);
+  EXPECT_TRUE(g.contains(identity_perm(5)));
+  EXPECT_FALSE(g.contains(Perm{1, 0, 2, 3, 4}));
+}
+
+TEST(PermGroup, SymmetricGroupFromTwoGenerators) {
+  // S_5 = <(0 1), (0 1 2 3 4)>; order 120.
+  PermGroup g(5);
+  g.add_generator(Perm{1, 0, 2, 3, 4});
+  g.add_generator(Perm{1, 2, 3, 4, 0});
+  EXPECT_NEAR(static_cast<double>(g.order()), 120.0, 1e-9);
+  EXPECT_TRUE(g.contains(Perm{4, 3, 2, 1, 0}));
+}
+
+TEST(PermGroup, CyclicGroup) {
+  PermGroup g(6);
+  g.add_generator(Perm{1, 2, 3, 4, 5, 0});
+  EXPECT_NEAR(static_cast<double>(g.order()), 6.0, 1e-9);
+  EXPECT_FALSE(g.contains(Perm{1, 0, 2, 3, 4, 5}));  // a swap is not a rotation
+}
+
+TEST(PermGroup, DihedralGroup) {
+  // D_6 on a hexagon: rotation + reflection, order 12.
+  PermGroup g(6);
+  g.add_generator(Perm{1, 2, 3, 4, 5, 0});
+  g.add_generator(Perm{0, 5, 4, 3, 2, 1});
+  EXPECT_NEAR(static_cast<double>(g.order()), 12.0, 1e-9);
+}
+
+TEST(PermGroup, KleinFourGroup) {
+  PermGroup g(4);
+  g.add_generator(Perm{1, 0, 3, 2});
+  g.add_generator(Perm{2, 3, 0, 1});
+  EXPECT_NEAR(static_cast<double>(g.order()), 4.0, 1e-9);
+  EXPECT_TRUE(g.contains(Perm{3, 2, 1, 0}));
+}
+
+TEST(PermGroup, DirectProductOfSwaps) {
+  // <(0 1)> x <(2 3)> x <(4 5)>: order 8.
+  PermGroup g(6);
+  g.add_generator(Perm{1, 0, 2, 3, 4, 5});
+  g.add_generator(Perm{0, 1, 3, 2, 4, 5});
+  g.add_generator(Perm{0, 1, 2, 3, 5, 4});
+  EXPECT_NEAR(static_cast<double>(g.order()), 8.0, 1e-9);
+}
+
+TEST(PermGroup, DuplicateGeneratorsIgnored) {
+  PermGroup g(4);
+  g.add_generator(Perm{1, 0, 2, 3});
+  g.add_generator(Perm{1, 0, 2, 3});
+  g.add_generator(identity_perm(4));
+  EXPECT_NEAR(static_cast<double>(g.order()), 2.0, 1e-9);
+  EXPECT_EQ(g.generators().size(), 1u);
+}
+
+TEST(PermGroup, MembershipOfProducts) {
+  PermGroup g(5);
+  const Perm a{1, 0, 2, 3, 4};
+  const Perm b{0, 1, 3, 2, 4};
+  g.add_generator(a);
+  g.add_generator(b);
+  EXPECT_TRUE(g.contains(compose(a, b)));
+  EXPECT_TRUE(g.contains(compose(b, a)));
+  EXPECT_FALSE(g.contains(Perm{0, 1, 2, 4, 3}));
+}
+
+TEST(PermGroup, OrbitOfPoint) {
+  PermGroup g(6);
+  g.add_generator(Perm{1, 2, 0, 3, 4, 5});  // 3-cycle on 0,1,2
+  auto orbit = g.orbit_of(0);
+  std::sort(orbit.begin(), orbit.end());
+  EXPECT_EQ(orbit, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.orbit_of(4), std::vector<int>{4});
+}
+
+TEST(PermGroup, LargeSymmetricGroupLog10) {
+  // S_20 has order 20! ~ 2.43e18: log10 ~ 18.386.
+  const int n = 20;
+  PermGroup g(n);
+  Perm swap_gen = identity_perm(n);
+  std::swap(swap_gen[0], swap_gen[1]);
+  Perm cycle(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) cycle[static_cast<std::size_t>(i)] = (i + 1) % n;
+  g.add_generator(swap_gen);
+  g.add_generator(cycle);
+  EXPECT_NEAR(g.log10_order(), 18.386, 0.01);
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,373 @@
+// CDCL engine tests: small handcrafted instances, pigeonhole UNSAT
+// certificates, PB propagation, assumptions, and randomized cross-checks
+// against a brute-force enumerator.
+
+#include <gtest/gtest.h>
+
+#include "cnf/formula.h"
+#include "sat/cdcl.h"
+#include "sat/luby.h"
+#include "util/rng.h"
+
+namespace symcolor {
+namespace {
+
+/// Brute-force satisfiability for formulas with <= 20 variables.
+bool brute_force_sat(const Formula& f) {
+  const int n = f.num_vars();
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<LBool> vals(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] =
+          (mask >> i) & 1 ? LBool::True : LBool::False;
+    }
+    if (f.satisfied_by(vals)) return true;
+  }
+  return false;
+}
+
+Formula pigeonhole(int pigeons, int holes) {
+  // PHP(p, h): each pigeon in some hole; no two pigeons share a hole.
+  Formula f;
+  std::vector<std::vector<Var>> in(static_cast<std::size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(f.new_var());
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) {
+      c.push_back(Lit::positive(in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    f.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.add_clause(
+            {Lit::negative(in[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]),
+             Lit::negative(in[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)])});
+      }
+    }
+  }
+  return f;
+}
+
+TEST(Cdcl, EmptyFormulaSat) {
+  Formula f;
+  CdclSolver solver(f);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+}
+
+TEST(Cdcl, SingleUnitClause) {
+  Formula f;
+  const Var v = f.new_var();
+  f.add_unit(Lit::positive(v));
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.model()[0], LBool::True);
+}
+
+TEST(Cdcl, ContradictoryUnitsUnsat) {
+  Formula f;
+  const Var v = f.new_var();
+  f.add_unit(Lit::positive(v));
+  f.add_unit(Lit::negative(v));
+  CdclSolver solver(f);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, ImplicationChainPropagates) {
+  Formula f;
+  const Var first = f.new_vars(10);
+  for (int i = 0; i + 1 < 10; ++i) {
+    f.add_implication(Lit::positive(first + i), Lit::positive(first + i + 1));
+  }
+  f.add_unit(Lit::positive(first));
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(solver.model()[static_cast<std::size_t>(i)], LBool::True);
+}
+
+TEST(Cdcl, SmallUnsatCore) {
+  // (a|b) (a|~b) (~a|b) (~a|~b) is unsatisfiable.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  f.add_clause({Lit::positive(a), Lit::negative(b)});
+  f.add_clause({Lit::negative(a), Lit::positive(b)});
+  f.add_clause({Lit::negative(a), Lit::negative(b)});
+  CdclSolver solver(f);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, PigeonholeSatWhenHolesSuffice) {
+  CdclSolver solver(pigeonhole(4, 4));
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+}
+
+TEST(Cdcl, PigeonholeUnsat) {
+  CdclSolver solver(pigeonhole(6, 5));
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().conflicts, 0);
+}
+
+TEST(Cdcl, ModelSatisfiesFormula) {
+  const Formula f = pigeonhole(5, 5);
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_TRUE(f.satisfied_by(solver.model()));
+}
+
+TEST(Cdcl, PbAtMostOnePropagation) {
+  Formula f;
+  const Var first = f.new_vars(4);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_at_most(lits, 1);
+  f.add_unit(Lit::positive(first));
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(solver.model()[static_cast<std::size_t>(first + i)], LBool::False);
+  }
+}
+
+TEST(Cdcl, PbExactlyOneAllCombinations) {
+  Formula f;
+  const Var first = f.new_vars(3);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 3; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_exactly(lits, 1);
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  int true_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (solver.model()[static_cast<std::size_t>(i)] == LBool::True) ++true_count;
+  }
+  EXPECT_EQ(true_count, 1);
+}
+
+TEST(Cdcl, PbInfeasibleBound) {
+  Formula f;
+  const Var first = f.new_vars(3);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 3; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_at_least(lits, 4);  // contradiction
+  CdclSolver solver(f);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, PbWithWeightsPropagates) {
+  // 3a + 2b + c >= 5 forces a (max without a is 3 < 5).
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  const Var c = f.new_var();
+  f.add_pb(PbConstraint::at_least(
+      {{3, Lit::positive(a)}, {2, Lit::positive(b)}, {1, Lit::positive(c)}}, 5));
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.model()[static_cast<std::size_t>(a)], LBool::True);
+  EXPECT_EQ(solver.model()[static_cast<std::size_t>(b)], LBool::True);
+}
+
+TEST(Cdcl, PbCardinalityConflictLearned) {
+  // x1+..+x5 >= 3 together with at-most-one over the same vars: UNSAT.
+  Formula f;
+  const Var first = f.new_vars(5);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_at_least(lits, 3);
+  f.add_at_most(lits, 1);
+  CdclSolver solver(f);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, AssumptionsSatisfiable) {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  CdclSolver solver(f);
+  const std::vector<Lit> assume{Lit::negative(a)};
+  ASSERT_EQ(solver.solve({}, assume), SolveResult::Sat);
+  EXPECT_EQ(solver.model()[static_cast<std::size_t>(a)], LBool::False);
+  EXPECT_EQ(solver.model()[static_cast<std::size_t>(b)], LBool::True);
+}
+
+TEST(Cdcl, AssumptionsContradictFormula) {
+  Formula f;
+  const Var a = f.new_var();
+  f.add_unit(Lit::positive(a));
+  CdclSolver solver(f);
+  const std::vector<Lit> assume{Lit::negative(a)};
+  EXPECT_EQ(solver.solve({}, assume), SolveResult::Unsat);
+  // Without the assumption the instance stays satisfiable.
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+}
+
+TEST(Cdcl, IncrementalClauseAddition) {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  solver.add_clause({Lit::negative(a)});
+  solver.add_clause({Lit::negative(b)});
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, IncrementalPbAddition) {
+  Formula f;
+  const Var first = f.new_vars(4);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_at_least(lits, 2);
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  std::vector<PbTerm> terms;
+  for (const Lit l : lits) terms.push_back({1, l});
+  solver.add_pb(PbConstraint::at_most(terms, 1));
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(Cdcl, ConflictBudgetReturnsUnknown) {
+  SolverConfig config;
+  config.conflict_budget = 1;
+  CdclSolver solver(pigeonhole(7, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unknown);
+}
+
+TEST(Cdcl, DeadlineReturnsUnknown) {
+  CdclSolver solver(pigeonhole(9, 8));
+  const Deadline deadline(0.001);
+  const SolveResult r = solver.solve(deadline);
+  // Either it finished very fast or it reports Unknown — never wrong.
+  EXPECT_NE(r, SolveResult::Sat);
+}
+
+TEST(Cdcl, StatsAccumulate) {
+  CdclSolver solver(pigeonhole(6, 5));
+  (void)solver.solve();
+  EXPECT_GT(solver.stats().decisions, 0);
+  EXPECT_GT(solver.stats().propagations, 0);
+  EXPECT_GT(solver.stats().learned_clauses, 0);
+}
+
+TEST(Luby, FirstElements) {
+  const std::vector<std::int64_t> expected{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1,
+                                           1, 2, 4, 8};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(luby(static_cast<std::int64_t>(i) + 1), expected[i]) << i;
+  }
+}
+
+// ---- randomized cross-checks against brute force ----
+
+struct RandomCnfParams {
+  int vars;
+  int clauses;
+  std::uint64_t seed;
+};
+
+class RandomCnfTest : public ::testing::TestWithParam<RandomCnfParams> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForce) {
+  const auto [vars, clauses, seed] = GetParam();
+  Rng rng(seed);
+  Formula f;
+  f.new_vars(vars);
+  for (int c = 0; c < clauses; ++c) {
+    Clause clause;
+    const int len = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < len; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(static_cast<std::uint64_t>(vars))),
+                           rng.chance(0.5)));
+    }
+    f.add_clause(std::move(clause));
+  }
+  CdclSolver solver(f);
+  const SolveResult r = solver.solve();
+  ASSERT_NE(r, SolveResult::Unknown);
+  EXPECT_EQ(r == SolveResult::Sat, brute_force_sat(f));
+  if (r == SolveResult::Sat) {
+    EXPECT_TRUE(f.satisfied_by(solver.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomCnfTest,
+    ::testing::Values(RandomCnfParams{6, 14, 1}, RandomCnfParams{6, 20, 2},
+                      RandomCnfParams{8, 24, 3}, RandomCnfParams{8, 34, 4},
+                      RandomCnfParams{10, 30, 5}, RandomCnfParams{10, 44, 6},
+                      RandomCnfParams{12, 40, 7}, RandomCnfParams{12, 54, 8},
+                      RandomCnfParams{14, 58, 9}, RandomCnfParams{14, 62, 10},
+                      RandomCnfParams{9, 38, 11}, RandomCnfParams{11, 46, 12}));
+
+class RandomPbTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPbTest, MixedCnfPbAgreesWithBruteForce) {
+  Rng rng(GetParam());
+  const int vars = 8;
+  Formula f;
+  f.new_vars(vars);
+  // A few clauses.
+  for (int c = 0; c < 8; ++c) {
+    Clause clause;
+    for (int i = 0; i < 3; ++i) {
+      clause.push_back(Lit(static_cast<Var>(rng.below(vars)), rng.chance(0.5)));
+    }
+    f.add_clause(std::move(clause));
+  }
+  // A few weighted PB constraints.
+  for (int c = 0; c < 4; ++c) {
+    std::vector<PbTerm> terms;
+    for (int i = 0; i < 4; ++i) {
+      terms.push_back({static_cast<std::int64_t>(1 + rng.below(3)),
+                       Lit(static_cast<Var>(rng.below(vars)), rng.chance(0.5))});
+    }
+    f.add_pb(PbConstraint::at_least(std::move(terms),
+                                    static_cast<std::int64_t>(1 + rng.below(5))));
+  }
+  CdclSolver solver(f);
+  const SolveResult r = solver.solve();
+  ASSERT_NE(r, SolveResult::Unknown);
+  EXPECT_EQ(r == SolveResult::Sat, brute_force_sat(f));
+  if (r == SolveResult::Sat) {
+    EXPECT_TRUE(f.satisfied_by(solver.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomPbTest,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+class SolverConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverConfigTest, AllConfigurationsAgreeOnPigeonhole) {
+  SolverConfig config;
+  switch (GetParam()) {
+    case 0: config.restart_scheme = RestartScheme::Luby; break;
+    case 1: config.restart_scheme = RestartScheme::Geometric; break;
+    case 2: config.minimize_learned = false; break;
+    case 3: config.phase_saving = false; break;
+    case 4: config.random_branch_freq = 0.05; break;
+    case 5: config.default_phase = true; break;
+  }
+  {
+    CdclSolver solver(pigeonhole(5, 5), config);
+    EXPECT_EQ(solver.solve(), SolveResult::Sat);
+  }
+  {
+    CdclSolver solver(pigeonhole(6, 5), config);
+    EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverConfigTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,331 @@
+// Tests for the formula graph, symmetry detection on formulas (the
+// Shatter flow) and lex-leader SBP semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pb/optimizer.h"
+#include "symmetry/formula_graph.h"
+#include "symmetry/lexleader.h"
+#include "symmetry/shatter.h"
+
+namespace symcolor {
+namespace {
+
+/// Count satisfying assignments by brute force (<= 20 vars).
+int count_models(const Formula& f) {
+  const int n = f.num_vars();
+  int count = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<LBool> vals(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] =
+          (mask >> i) & 1 ? LBool::True : LBool::False;
+    }
+    if (f.satisfied_by(vals)) ++count;
+  }
+  return count;
+}
+
+/// Two symmetric variables: (a | b) with nothing else.
+Formula symmetric_pair() {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  return f;
+}
+
+TEST(FormulaGraph, LiteralVerticesAndConsistencyEdges) {
+  Formula f;
+  f.new_vars(3);
+  const FormulaGraph fg = build_formula_graph(f);
+  EXPECT_EQ(fg.num_literal_vertices, 6);
+  EXPECT_EQ(fg.graph.num_vertices(), 6);
+  for (Var v = 0; v < 3; ++v) {
+    EXPECT_TRUE(fg.graph.has_edge(Lit::positive(v).code(),
+                                  Lit::negative(v).code()));
+  }
+}
+
+TEST(FormulaGraph, BinaryClauseIsEdge) {
+  Formula f = symmetric_pair();
+  const FormulaGraph fg = build_formula_graph(f);
+  EXPECT_EQ(fg.graph.num_vertices(), 4);  // no clause vertex
+  EXPECT_TRUE(fg.graph.has_edge(Lit::positive(0).code(),
+                                Lit::positive(1).code()));
+}
+
+TEST(FormulaGraph, TernaryClauseGetsVertex) {
+  Formula f;
+  f.new_vars(3);
+  f.add_clause({Lit::positive(0), Lit::positive(1), Lit::positive(2)});
+  const FormulaGraph fg = build_formula_graph(f);
+  EXPECT_EQ(fg.graph.num_vertices(), 7);
+  const int clause_vertex = 6;
+  EXPECT_EQ(fg.graph.degree(clause_vertex), 3);
+}
+
+TEST(FormulaGraph, UnitClauseGetsMarker) {
+  Formula f;
+  f.new_vars(2);
+  f.add_unit(Lit::positive(0));
+  const FormulaGraph fg = build_formula_graph(f);
+  // 4 literal vertices + 1 marker.
+  EXPECT_EQ(fg.graph.num_vertices(), 5);
+  // The marker pins x0: var 0 cannot swap with var 1 and cannot phase
+  // shift; the only remaining symmetry is the phase shift of the free
+  // var 1, so the group has order exactly 2.
+  const SymmetryInfo info = detect_symmetries(f);
+  EXPECT_NEAR(info.log10_order, std::log10(2.0), 1e-9);
+  for (const Perm& p : info.generators) {
+    EXPECT_EQ(p[0], 0);  // x0 fixed
+    EXPECT_EQ(p[1], 1);  // ~x0 fixed
+  }
+}
+
+TEST(FormulaGraph, PbConstraintColoredByBound) {
+  Formula f;
+  f.new_vars(4);
+  f.add_at_least({Lit::positive(0), Lit::positive(1), Lit::positive(2)}, 2);
+  f.add_at_least({Lit::positive(1), Lit::positive(2), Lit::positive(3)}, 1);
+  const FormulaGraph fg = build_formula_graph(f);
+  // bound-2 PB vertex and bound-1 clause-vertex must have different colors
+  // (the bound-1 cardinality is a clause and gets the clause color).
+  const int pb_vertex = 8;
+  const int clause_vertex = 9;
+  EXPECT_NE(fg.vertex_colors[static_cast<std::size_t>(pb_vertex)],
+            fg.vertex_colors[static_cast<std::size_t>(clause_vertex)]);
+}
+
+TEST(LiteralPermutation, ExtractsConsistentMapping) {
+  Formula f = symmetric_pair();
+  const FormulaGraph fg = build_formula_graph(f);
+  // Swap var0 and var1 wholesale on the graph (literal codes 0<->2, 1<->3).
+  Perm graph_perm{2, 3, 0, 1};
+  const Perm lit_perm = literal_permutation(fg, graph_perm);
+  ASSERT_EQ(lit_perm.size(), 4u);
+  EXPECT_EQ(lit_perm[0], 2);
+  EXPECT_EQ(lit_perm[1], 3);
+}
+
+TEST(LiteralPermutation, RejectsInconsistentNegation) {
+  Formula f = symmetric_pair();
+  const FormulaGraph fg = build_formula_graph(f);
+  // Map x0 -> x1 but ~x0 -> ~x0: breaks Boolean consistency.
+  Perm graph_perm{2, 1, 0, 3};
+  // This perm maps code1 (~x0) to itself: phase mismatch with code0 -> x1.
+  EXPECT_TRUE(literal_permutation(fg, graph_perm).empty());
+}
+
+TEST(IsFormulaSymmetry, AcceptsRealSymmetry) {
+  Formula f = symmetric_pair();
+  const Perm swap{2, 3, 0, 1};
+  EXPECT_TRUE(is_formula_symmetry(f, swap));
+}
+
+TEST(IsFormulaSymmetry, RejectsNonSymmetry) {
+  Formula f;
+  f.new_vars(2);
+  f.add_unit(Lit::positive(0));
+  f.add_clause({Lit::positive(0), Lit::positive(1)});
+  const Perm swap{2, 3, 0, 1};
+  EXPECT_FALSE(is_formula_symmetry(f, swap));
+}
+
+TEST(IsFormulaSymmetry, PhaseShiftOnFreeVariable) {
+  // x0 unconstrained: mapping x0 <-> ~x0 is a symmetry.
+  Formula f;
+  f.new_vars(1);
+  const Perm phase{1, 0};
+  EXPECT_TRUE(is_formula_symmetry(f, phase));
+}
+
+TEST(IsFormulaSymmetry, ChecksObjective) {
+  Formula f;
+  f.new_vars(2);
+  Objective obj;
+  obj.terms = {{1, Lit::positive(0)}, {2, Lit::positive(1)}};
+  f.set_objective(obj);
+  const Perm swap{2, 3, 0, 1};
+  EXPECT_FALSE(is_formula_symmetry(f, swap));  // coefficients differ
+}
+
+TEST(DetectSymmetries, FindsVariableSwap) {
+  Formula f = symmetric_pair();
+  const SymmetryInfo info = detect_symmetries(f);
+  // Group: swap(var0,var1) at least; phase shifts are excluded by the
+  // clause but each var also has no free phase here. Order >= 2.
+  EXPECT_GE(info.log10_order, std::log10(2.0) - 1e-9);
+  EXPECT_FALSE(info.generators.empty());
+  EXPECT_EQ(info.spurious_rejected, 0);
+}
+
+TEST(DetectSymmetries, FreeVariablePhaseShift) {
+  Formula f;
+  f.new_vars(1);
+  const SymmetryInfo info = detect_symmetries(f);
+  EXPECT_NEAR(info.log10_order, std::log10(2.0), 1e-6);
+}
+
+TEST(DetectSymmetries, RigidFormulaHasNone) {
+  Formula f;
+  f.new_vars(2);
+  f.add_unit(Lit::positive(0));
+  f.add_clause({Lit::negative(0), Lit::positive(1)});
+  f.add_unit(Lit::positive(1));
+  const SymmetryInfo info = detect_symmetries(f);
+  // x0 and x1 are both forced true but appear in structurally different
+  // constraints; at most trivial symmetry should remain between them...
+  // they are actually symmetric only if their constraint sets match,
+  // which they do not (x1 has an incoming implication).
+  EXPECT_TRUE(std::all_of(info.generators.begin(), info.generators.end(),
+                          [&](const Perm& p) {
+                            return is_formula_symmetry(f, p);
+                          }));
+}
+
+TEST(DetectSymmetries, GeneratorsAreFormulaSymmetries) {
+  // Exactly-one over 4 vars: the full S_4 on variables, order 24.
+  Formula f;
+  f.new_vars(4);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(Lit::positive(i));
+  f.add_exactly(lits, 1);
+  const SymmetryInfo info = detect_symmetries(f);
+  EXPECT_NEAR(info.log10_order, std::log10(24.0), 1e-6);
+  for (const Perm& p : info.generators) {
+    EXPECT_TRUE(is_formula_symmetry(f, p));
+  }
+}
+
+TEST(LexLeader, SingleSwapKeepsOneRepresentativePerOrbit) {
+  // (a | b): 3 models. Under swap symmetry, orbits are {01,10} and {11}.
+  // Lex-leader SBPs keep exactly one representative of the first orbit.
+  Formula f = symmetric_pair();
+  const SymmetryInfo info = detect_symmetries(f);
+  ASSERT_FALSE(info.generators.empty());
+  const int before = count_models(f);
+  EXPECT_EQ(before, 3);
+  const int vars_before = f.num_vars();
+  const LexLeaderStats stats = add_lex_leader_sbps(f, info.generators);
+  EXPECT_GT(stats.clauses_added, 0);
+  // Models over the ORIGINAL variables: project by checking satisfiable
+  // extensions. With one aux chain var per support element the count over
+  // all vars can exceed the projection; instead verify that (a=1,b=0) or
+  // (a=0,b=1) — exactly one of the symmetric pair — survives.
+  int surviving_asymmetric = 0;
+  const int n = f.num_vars();
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<LBool> vals(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vals[static_cast<std::size_t>(i)] =
+          (mask >> i) & 1 ? LBool::True : LBool::False;
+    }
+    if (!f.satisfied_by(vals)) continue;
+    const bool a = vals[0] == LBool::True;
+    const bool b = vals[1] == LBool::True;
+    if (a != b) {
+      surviving_asymmetric |= a ? 1 : 2;
+    }
+  }
+  EXPECT_TRUE(surviving_asymmetric == 1 || surviving_asymmetric == 2)
+      << "both or neither asymmetric assignment survived";
+  (void)vars_before;
+}
+
+TEST(LexLeader, PreservesSatisfiability) {
+  Formula f;
+  f.new_vars(4);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(Lit::positive(i));
+  f.add_exactly(lits, 2);
+  const SymmetryInfo info = detect_symmetries(f);
+  add_lex_leader_sbps(f, info.generators);
+  EXPECT_GT(count_models(f), 0);
+}
+
+TEST(LexLeader, TruncationLimitsClauses) {
+  Formula f1;
+  f1.new_vars(8);
+  Formula f2;
+  f2.new_vars(8);
+  // One long generator: rotate all 8 variables.
+  Perm rotate(16);
+  for (int v = 0; v < 8; ++v) {
+    const int w = (v + 1) % 8;
+    rotate[static_cast<std::size_t>(Lit::positive(v).code())] =
+        Lit::positive(w).code();
+    rotate[static_cast<std::size_t>(Lit::negative(v).code())] =
+        Lit::negative(w).code();
+  }
+  const std::vector<Perm> gens{rotate};
+  const LexLeaderStats full = add_lex_leader_sbps(f1, gens);
+  const LexLeaderStats cut = add_lex_leader_sbps(f2, gens, 3);
+  EXPECT_GT(full.clauses_added, cut.clauses_added);
+  EXPECT_EQ(cut.vars_added, 2);  // chain vars for 3 support elements
+}
+
+TEST(LexLeader, QuadraticVariantSoundOnSwap) {
+  Formula f = symmetric_pair();
+  const SymmetryInfo info = detect_symmetries(f);
+  const int before = count_models(f);
+  add_lex_leader_sbps_quadratic(f, info.generators);
+  const int after = count_models(f);
+  EXPECT_GT(after, 0);
+  EXPECT_LE(after, before);
+}
+
+TEST(Shatter, PreservesOptimalValue) {
+  // MIN true vars subject to at-least-2-of-5: optimum 2, with and without
+  // symmetry breaking.
+  Formula f;
+  std::vector<Lit> lits;
+  Objective obj;
+  for (int i = 0; i < 5; ++i) {
+    const Var v = f.new_var();
+    lits.push_back(Lit::positive(v));
+    obj.terms.push_back({1, Lit::positive(v)});
+  }
+  f.add_at_least(lits, 2);
+  f.set_objective(obj);
+
+  Formula broken = f;
+  const ShatterStats stats = shatter(broken);
+  EXPECT_GT(stats.sbp.clauses_added, 0);
+  const OptResult plain = minimize_linear(f, {}, {});
+  const OptResult with_sbp = minimize_linear(broken, {}, {});
+  ASSERT_EQ(plain.status, OptStatus::Optimal);
+  ASSERT_EQ(with_sbp.status, OptStatus::Optimal);
+  EXPECT_EQ(plain.best_value, 2);
+  EXPECT_EQ(with_sbp.best_value, 2);
+}
+
+TEST(Shatter, PreservesUnsatisfiability) {
+  Formula f;
+  f.new_vars(4);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(Lit::positive(i));
+  f.add_at_least(lits, 3);
+  f.add_at_most(lits, 1);
+  Formula broken = f;
+  shatter(broken);
+  const OptResult r = minimize_linear(broken, {}, {});
+  EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(Shatter, NoSpuriousGeneratorsOnTypicalFormulas) {
+  Formula f;
+  f.new_vars(6);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 6; ++i) lits.push_back(Lit::positive(i));
+  f.add_exactly(lits, 2);
+  Formula copy = f;
+  const ShatterStats stats = shatter(copy);
+  EXPECT_EQ(stats.symmetry.spurious_rejected, 0);
+  EXPECT_GT(stats.symmetry.log10_order, 0.0);
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,194 @@
+// Unit tests for src/util: timers, deterministic RNG, text helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/text.h"
+#include "util/timer.h"
+
+namespace symcolor {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestartsFromZero) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(Timer, MillisecondsMatchSeconds) {
+  Timer t;
+  const double s = t.seconds();
+  EXPECT_NEAR(t.milliseconds(), s * 1000.0, 50.0);
+}
+
+TEST(Deadline, DefaultIsUnlimited) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, ZeroBudgetIsUnlimited) {
+  Deadline d(0.0);
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ExpiresAfterBudget) {
+  Deadline d(0.01);
+  EXPECT_FALSE(d.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), 0.0);
+}
+
+TEST(Deadline, RemainingIsPositiveBeforeExpiry) {
+  Deadline d(100.0);
+  EXPECT_GT(d.remaining(), 90.0);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 500 draws
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double total = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / samples, 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(17);
+  const auto p = rng.permutation(50);
+  std::set<int> values(p.begin(), p.end());
+  EXPECT_EQ(values.size(), 50u);
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), 49);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Text, SplitTokensBasic) {
+  const auto tokens = split_tokens("a bb  ccc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+}
+
+TEST(Text, SplitTokensEmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_tokens("").empty());
+  EXPECT_TRUE(split_tokens("  \t \n ").empty());
+}
+
+TEST(Text, SplitTokensCustomDelims) {
+  const auto tokens = split_tokens("a,b;;c", ",;");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(Text, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Text, StartsWith) {
+  EXPECT_TRUE(starts_with("p edge 5 4", "p edge"));
+  EXPECT_FALSE(starts_with("p", "p edge"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Text, FormatSecondsPrecisionBands) {
+  EXPECT_EQ(format_seconds(0.014), "0.01");
+  EXPECT_EQ(format_seconds(9.876), "9.88");
+  EXPECT_EQ(format_seconds(42.345), "42.3");
+  EXPECT_EQ(format_seconds(123.9), "124");
+}
+
+TEST(Text, FormatSecondsTimeout) {
+  EXPECT_EQ(format_seconds(1000.0, true), "T/O");
+}
+
+TEST(Text, FormatSecondsClampsNegative) {
+  EXPECT_EQ(format_seconds(-1.0), "0.00");
+}
+
+TEST(Text, FormatPow10SmallExact) {
+  EXPECT_EQ(format_pow10(0.0), "1");
+  EXPECT_EQ(format_pow10(std::log10(20.0)), "20");
+}
+
+TEST(Text, FormatPow10LargeScientific) {
+  const std::string s = format_pow10(168.04);
+  EXPECT_NE(s.find("e+168"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -1,0 +1,235 @@
+// symcolor_cli — command-line front end for the exact coloring pipeline.
+//
+//   symcolor_cli [options] <graph.col>
+//   symcolor_cli [options] --instance <name>     (built-in suite member)
+//
+// Options:
+//   -k <int>        color limit K (default 20)
+//   --sbp <row>     none | nu | ca | li | liq | sc | nu+sc  (default none)
+//   --shatter       add instance-dependent lex-leader SBPs
+//   --solver <s>    pbs | pbs2 | galena | pueblo | generic  (default pbs2)
+//   --timeout <s>   wall budget in seconds (default unlimited)
+//   --decision      K-colorability query instead of minimization
+//   --simplify      pre-solve simplification (units, pures, subsumption)
+//   --satloop       pure-CNF SAT-loop pipeline instead of native PB
+//   --opb <file>    dump the encoded 0-1 ILP instance as OPB and exit
+//   --stats         print symmetry/solver statistics
+//
+// Exit code: 0 optimal/SAT, 1 infeasible/UNSAT, 2 timeout, 3 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "cnf/writers.h"
+#include "coloring/cnf_coloring.h"
+#include "coloring/exact_colorer.h"
+#include "graph/dimacs_col.h"
+#include "graph/generators.h"
+
+using namespace symcolor;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
+               "[--solver s] [--timeout sec]\n"
+               "                    [--decision] [--satloop] [--opb file] "
+               "[--stats]\n"
+               "                    (<graph.col> | --instance <name>)\n");
+}
+
+std::optional<SbpOptions> parse_sbp(const std::string& name) {
+  if (name == "none") return SbpOptions::none();
+  if (name == "nu") return SbpOptions::nu_only();
+  if (name == "ca") return SbpOptions::ca_only();
+  if (name == "li") return SbpOptions::li_only();
+  if (name == "liq") return SbpOptions::li_paper();
+  if (name == "sc") return SbpOptions::sc_only();
+  if (name == "nu+sc") return SbpOptions::nu_sc();
+  return std::nullopt;
+}
+
+std::optional<SolverKind> parse_solver(const std::string& name) {
+  if (name == "pbs") return SolverKind::PbsOriginal;
+  if (name == "pbs2") return SolverKind::PbsII;
+  if (name == "galena") return SolverKind::Galena;
+  if (name == "pueblo") return SolverKind::Pueblo;
+  if (name == "generic") return SolverKind::GenericIlp;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int k = 20;
+  SbpOptions sbps;
+  bool shatter_flow = false;
+  SolverKind solver = SolverKind::PbsII;
+  double timeout = 0.0;
+  bool decision = false;
+  bool satloop = false;
+  bool presimplify = false;
+  bool stats = false;
+  std::string opb_path;
+  std::string graph_path;
+  std::string instance_name;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-k") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      k = std::atoi(v);
+    } else if (arg == "--sbp") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_sbp(v) : std::nullopt;
+      if (!parsed) { usage(); return 3; }
+      sbps = *parsed;
+    } else if (arg == "--shatter") {
+      shatter_flow = true;
+    } else if (arg == "--solver") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_solver(v) : std::nullopt;
+      if (!parsed) { usage(); return 3; }
+      solver = *parsed;
+    } else if (arg == "--timeout") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      timeout = std::atof(v);
+    } else if (arg == "--decision") {
+      decision = true;
+    } else if (arg == "--simplify") {
+      presimplify = true;
+    } else if (arg == "--satloop") {
+      satloop = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--opb") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      opb_path = v;
+    } else if (arg == "--instance") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      instance_name = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 3;
+    } else {
+      graph_path = arg;
+    }
+  }
+
+  Graph graph;
+  try {
+    if (!instance_name.empty()) {
+      bool found = false;
+      for (const Instance& inst : dimacs_suite()) {
+        if (inst.name == instance_name) {
+          graph = inst.graph;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown instance '%s'; available:\n",
+                     instance_name.c_str());
+        for (const Instance& inst : dimacs_suite()) {
+          std::fprintf(stderr, "  %s\n", inst.name.c_str());
+        }
+        return 3;
+      }
+    } else if (!graph_path.empty()) {
+      graph = read_dimacs_col_file(graph_path);
+    } else {
+      usage();
+      return 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  std::printf("graph: %d vertices, %d edges\n", graph.num_vertices(),
+              graph.num_edges());
+
+  if (!opb_path.empty()) {
+    const ColoringEncoding enc = encode_coloring(graph, k, sbps);
+    std::ofstream out(opb_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opb_path.c_str());
+      return 3;
+    }
+    write_opb(out, enc.formula);
+    std::printf("wrote %s: %d vars, %d clauses, %d PB constraints\n",
+                opb_path.c_str(), enc.formula.num_vars(),
+                enc.formula.num_clauses(), enc.formula.num_pb());
+    return 0;
+  }
+
+  if (satloop) {
+    SatLoopOptions options;
+    options.sbps = sbps;
+    options.time_budget_seconds = timeout;
+    const SatLoopResult r = solve_coloring_sat_loop(graph, options);
+    if (r.status == OptStatus::Optimal) {
+      std::printf("chromatic number: %d (%d SAT calls, %.3f s)\n",
+                  r.num_colors, r.sat_calls, r.seconds);
+      return 0;
+    }
+    std::printf("timeout; best coloring uses %d colors\n", r.num_colors);
+    return 2;
+  }
+
+  ColoringOptions options;
+  options.max_colors = k;
+  options.sbps = sbps;
+  options.instance_dependent_sbps = shatter_flow;
+  options.solver = solver;
+  options.time_budget_seconds = timeout;
+  options.presimplify = presimplify;
+  const ColoringOutcome r =
+      decision ? solve_k_coloring(graph, options) : solve_coloring(graph, options);
+
+  if (stats) {
+    std::printf("formula: %d vars, %d clauses, %d PB\n", r.formula_vars,
+                r.formula_clauses, r.formula_pb);
+    if (r.symmetry) {
+      std::printf("symmetries: 10^%.2f in %d generators (%.3f s detection)\n",
+                  r.symmetry->log10_order,
+                  static_cast<int>(r.symmetry->generators.size()),
+                  r.symmetry->detect_seconds);
+    }
+    std::printf("solver: %lld conflicts, %lld decisions, %lld propagations\n",
+                static_cast<long long>(r.solver_stats.conflicts),
+                static_cast<long long>(r.solver_stats.decisions),
+                static_cast<long long>(r.solver_stats.propagations));
+  }
+
+  switch (r.status) {
+    case OptStatus::Optimal:
+      if (decision) {
+        std::printf("%d-colorable: yes (%.3f s)\n", k, r.total_seconds);
+      } else {
+        std::printf("chromatic number: %d (%.3f s)\n", r.num_colors,
+                    r.total_seconds);
+      }
+      return 0;
+    case OptStatus::Infeasible:
+      std::printf("not %d-colorable (%.3f s)\n", k, r.total_seconds);
+      return 1;
+    case OptStatus::Feasible:
+      std::printf("timeout; best coloring uses %d colors\n", r.num_colors);
+      return 2;
+    case OptStatus::Unknown:
+      std::printf("timeout with no coloring found\n");
+      return 2;
+  }
+  return 2;
+}
