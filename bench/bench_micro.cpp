@@ -2,8 +2,22 @@
 // CDCL propagation/solving, partition refinement, automorphism search,
 // clique and heuristic coloring. These track the per-component costs
 // behind the table benchmarks.
+//
+// In addition to the usual console output, every run writes a
+// machine-readable BENCH_micro.json (override the path with
+// SYMCOLOR_BENCH_JSON) so successive PRs can diff propagation throughput:
+//   [{"name": ..., "n": ..., "reps": ..., "ns_per_op": ...,
+//     "propagations_per_sec": ...}, ...]
+// `propagations_per_sec` is nonzero only for the solver benchmarks that
+// report it as a counter; `n` is the trailing benchmark argument (0 when
+// the benchmark takes none).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "automorphism/refinement.h"
 #include "automorphism/search.h"
@@ -48,6 +62,62 @@ void BM_CdclQueenDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdclQueenDecision);
+
+// The headline hot-path number: raw unit propagations per second through
+// the watched-literal/PB engine on a symmetry-broken coloring instance.
+// A fixed conflict budget makes every iteration search the same prefix of
+// the tree, so the measurement is a pure propagation workload.
+void BM_CdclPropagationThroughput(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const Graph g = make_queen_graph(q, q);
+  const ColoringEncoding enc = encode_k_coloring(g, q + 1, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.conflict_budget = 2000;
+  std::int64_t propagations = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve());
+    propagations += solver.stats().propagations;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclPropagationThroughput)->Arg(6)->Arg(7)->Arg(8);
+
+// Same workload through the PB-heavy path: at-most-one rows encoded as
+// pseudo-Boolean constraints exercise the cached-slack propagator.
+void BM_CdclPbPropagationThroughput(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const Graph g = make_queen_graph(q, q);
+  Formula f;
+  const int n = g.num_vertices();
+  const int k = q + 1;
+  // x_{v,c} says vertex v takes color c; per-vertex exactly-one rows are
+  // PB constraints, adjacency handled clausally.
+  for (int v = 0; v < n; ++v) {
+    std::vector<Lit> row;
+    for (int c = 0; c < k; ++c) {
+      row.push_back(Lit::positive(f.new_var()));
+    }
+    f.add_exactly(row, 1);
+  }
+  for (const Edge& e : g.edges()) {
+    for (int c = 0; c < k; ++c) {
+      f.add_clause({Lit::negative(e.u * k + c), Lit::negative(e.v * k + c)});
+    }
+  }
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.conflict_budget = 2000;
+  std::int64_t propagations = 0;
+  for (auto _ : state) {
+    CdclSolver solver(f, config);
+    benchmark::DoNotOptimize(solver.solve());
+    propagations += solver.stats().propagations;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclPbPropagationThroughput)->Arg(6)->Arg(7);
 
 void BM_MinimizeMyciel(benchmark::State& state) {
   const Graph g = make_myciel_dimacs(static_cast<int>(state.range(0)));
@@ -120,5 +190,74 @@ void BM_DsaturBnbQueen55(benchmark::State& state) {
 }
 BENCHMARK(BM_DsaturBnbQueen55);
 
+// ---- machine-readable output ----
+
+/// Console reporter that also mirrors every finished run into a flat JSON
+/// array so perf trajectories can be diffed across PRs without parsing
+/// console output.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      // The trailing "/<number>" of a benchmark name is its range arg.
+      const auto slash = row.name.rfind('/');
+      if (slash != std::string::npos) {
+        const std::string tail = row.name.substr(slash + 1);
+        if (!tail.empty() &&
+            tail.find_first_not_of("0123456789") == std::string::npos) {
+          row.n = std::stoll(tail);
+        }
+      }
+      row.reps = run.iterations;
+      row.ns_per_op = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("propagations_per_sec");
+      if (it != run.counters.end()) row.props_per_sec = it->second;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out(path_);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out << "  {\"name\": \"" << r.name << "\", \"n\": " << r.n
+          << ", \"reps\": " << r.reps << ", \"ns_per_op\": " << r.ns_per_op
+          << ", \"propagations_per_sec\": " << r.props_per_sec << "}"
+          << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    long long n = 0;
+    long long reps = 0;
+    double ns_per_op = 0.0;
+    double props_per_sec = 0.0;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 }  // namespace symcolor
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* path = std::getenv("SYMCOLOR_BENCH_JSON");
+  symcolor::JsonFileReporter reporter(path != nullptr ? path
+                                                      : "BENCH_micro.json");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,11 +11,14 @@ namespace {
 class BnB {
  public:
   BnB(const Graph& graph, const Deadline& deadline)
-      : graph_(graph), deadline_(deadline), n_(graph.num_vertices()) {
+      : graph_(graph),
+        deadline_(deadline),
+        n_(graph.num_vertices()),
+        color_stride_(static_cast<std::size_t>(n_) + 2) {
     colors_.assign(static_cast<std::size_t>(n_), -1);
-    neighbour_has_.assign(
-        static_cast<std::size_t>(n_),
-        std::vector<int>(static_cast<std::size_t>(n_) + 2, 0));
+    // Per-vertex color counters live in one flat strided buffer so the
+    // assign/unassign inner loops touch a single allocation.
+    neighbour_has_.assign(static_cast<std::size_t>(n_) * color_stride_, 0);
     saturation_.assign(static_cast<std::size_t>(n_), 0);
   }
 
@@ -54,11 +57,15 @@ class BnB {
 
  private:
 
+  [[nodiscard]] int& neighbour_has(int v, int color) {
+    return neighbour_has_[static_cast<std::size_t>(v) * color_stride_ +
+                          static_cast<std::size_t>(color)];
+  }
+
   void assign(int v, int color) {
     colors_[static_cast<std::size_t>(v)] = color;
     for (const int u : graph_.neighbors(v)) {
-      if (++neighbour_has_[static_cast<std::size_t>(u)]
-                          [static_cast<std::size_t>(color)] == 1) {
+      if (++neighbour_has(u, color) == 1) {
         ++saturation_[static_cast<std::size_t>(u)];
       }
     }
@@ -67,8 +74,7 @@ class BnB {
   void unassign(int v, int color) {
     colors_[static_cast<std::size_t>(v)] = -1;
     for (const int u : graph_.neighbors(v)) {
-      if (--neighbour_has_[static_cast<std::size_t>(u)]
-                          [static_cast<std::size_t>(color)] == 0) {
+      if (--neighbour_has(u, color) == 0) {
         --saturation_[static_cast<std::size_t>(u)];
       }
     }
@@ -105,10 +111,7 @@ class BnB {
     // Try existing colors, then (if it stays under the incumbent) one new.
     const int limit = std::min(used_colors_ + 1, best_ - 1);
     for (int c = 0; c < limit; ++c) {
-      if (neighbour_has_[static_cast<std::size_t>(v)]
-                        [static_cast<std::size_t>(c)] > 0) {
-        continue;
-      }
+      if (neighbour_has(v, c) > 0) continue;
       const int prev_used = used_colors_;
       if (c == used_colors_) ++used_colors_;
       assign(v, c);
@@ -125,8 +128,9 @@ class BnB {
   const Graph& graph_;
   const Deadline& deadline_;
   int n_;
+  std::size_t color_stride_;
   std::vector<int> colors_;
-  std::vector<std::vector<int>> neighbour_has_;
+  std::vector<int> neighbour_has_;  // flat n_ x color_stride_
   std::vector<int> saturation_;
   int used_colors_ = 0;
   int colored_count_ = 0;

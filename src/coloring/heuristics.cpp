@@ -42,10 +42,14 @@ std::vector<int> welsh_powell_coloring(const Graph& graph) {
 std::vector<int> dsatur_coloring(const Graph& graph) {
   const int n = graph.num_vertices();
   std::vector<int> colors(static_cast<std::size_t>(n), -1);
-  // Saturation tracked as a bitset of neighbour colors per vertex.
-  std::vector<std::vector<char>> neighbour_has(
-      static_cast<std::size_t>(n),
-      std::vector<char>(static_cast<std::size_t>(n) + 1, 0));
+  // Saturation tracked as a bitset of neighbour colors per vertex, stored
+  // as one flat strided buffer so the update loops stay in-cache.
+  const std::size_t stride = static_cast<std::size_t>(n) + 1;
+  std::vector<char> neighbour_has(static_cast<std::size_t>(n) * stride, 0);
+  const auto has = [&](int v, int color) -> char& {
+    return neighbour_has[static_cast<std::size_t>(v) * stride +
+                         static_cast<std::size_t>(color)];
+  };
   std::vector<int> saturation(static_cast<std::size_t>(n), 0);
 
   for (int step = 0; step < n; ++step) {
@@ -64,13 +68,11 @@ std::vector<int> dsatur_coloring(const Graph& graph) {
       }
     }
     int color = 0;
-    while (neighbour_has[static_cast<std::size_t>(best)][static_cast<std::size_t>(color)]) {
-      ++color;
-    }
+    while (has(best, color)) ++color;
     colors[static_cast<std::size_t>(best)] = color;
     for (const int u : graph.neighbors(best)) {
-      if (!neighbour_has[static_cast<std::size_t>(u)][static_cast<std::size_t>(color)]) {
-        neighbour_has[static_cast<std::size_t>(u)][static_cast<std::size_t>(color)] = 1;
+      if (!has(u, color)) {
+        has(u, color) = 1;
         ++saturation[static_cast<std::size_t>(u)];
       }
     }

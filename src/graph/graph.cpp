@@ -9,7 +9,9 @@ namespace symcolor {
 
 void Graph::reset(int num_vertices) {
   if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
-  adjacency_.assign(static_cast<std::size_t>(num_vertices), {});
+  num_vertices_ = num_vertices;
+  offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  neighbors_.clear();
   edges_.clear();
   finalized_ = true;
 }
@@ -28,37 +30,65 @@ void Graph::finalize() {
   if (finalized_) return;
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-  for (auto& adj : adjacency_) adj.clear();
+  // CSR build: count degrees, prefix-sum into offsets, then fill. Edges
+  // are sorted by (u, v), so each row comes out sorted ascending: for a
+  // vertex w, partners y < w are appended while scanning u = y (ascending
+  // y), then partners x > w while scanning u = w (ascending x).
+  const auto n = static_cast<std::size_t>(num_vertices_);
+  offsets_.assign(n + 1, 0);
   for (const Edge& e : edges_) {
-    adjacency_[static_cast<std::size_t>(e.u)].push_back(e.v);
-    adjacency_[static_cast<std::size_t>(e.v)].push_back(e.u);
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
   }
-  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  neighbors_.resize(2 * edges_.size());
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    neighbors_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    neighbors_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
   finalized_ = true;
+}
+
+void Graph::check_vertex(int v) const {
+  if (v < 0 || v >= num_vertices_) {
+    throw std::out_of_range("vertex out of range");
+  }
 }
 
 std::span<const int> Graph::neighbors(int v) const {
   assert(finalized_);
-  return adjacency_.at(static_cast<std::size_t>(v));
+  check_vertex(v);
+  const auto begin = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(v)]);
+  const auto end = static_cast<std::size_t>(
+      offsets_[static_cast<std::size_t>(v) + 1]);
+  return {neighbors_.data() + begin, end - begin};
 }
 
 int Graph::degree(int v) const {
   assert(finalized_);
-  return static_cast<int>(adjacency_.at(static_cast<std::size_t>(v)).size());
+  check_vertex(v);
+  return offsets_[static_cast<std::size_t>(v) + 1] -
+         offsets_[static_cast<std::size_t>(v)];
 }
 
 bool Graph::has_edge(int u, int v) const {
   assert(finalized_);
+  check_vertex(v);
   if (u == v) return false;
-  const auto& adj = adjacency_.at(static_cast<std::size_t>(u));
+  const std::span<const int> adj = neighbors(u);  // range-checks u
   return std::binary_search(adj.begin(), adj.end(), v);
 }
 
 int Graph::max_degree() const {
   assert(finalized_);
   int best = 0;
-  for (const auto& adj : adjacency_) {
-    best = std::max(best, static_cast<int>(adj.size()));
+  for (int v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, offsets_[static_cast<std::size_t>(v) + 1] -
+                              offsets_[static_cast<std::size_t>(v)]);
   }
   return best;
 }
@@ -87,7 +117,7 @@ Graph Graph::complement() const {
   const int n = num_vertices();
   Graph out(n);
   for (int u = 0; u < n; ++u) {
-    const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+    const std::span<const int> adj = neighbors(u);
     std::size_t k = 0;
     for (int v = u + 1; v < n; ++v) {
       while (k < adj.size() && adj[k] < v) ++k;

@@ -1,11 +1,21 @@
 #pragma once
 // Simple undirected graph used throughout the library.
 //
-// Vertices are dense integers 0..n-1. The structure is a sorted adjacency
-// list plus an edge list; self-loops are rejected and duplicate edges are
-// deduplicated on finalize(). This matches the needs of the coloring
-// encoder (iterate edges), the automorphism engine (neighbour queries),
-// and the heuristics (degree queries).
+// Vertices are dense integers 0..n-1; self-loops are rejected and
+// duplicate edges are deduplicated on finalize(). This matches the needs
+// of the coloring encoder (iterate edges), the automorphism engine
+// (neighbour queries), and the heuristics (degree queries).
+//
+// Storage is CSR (compressed sparse row): finalize() builds two flat
+// arrays, offsets_ (n+1 entries) and neighbors_ (2|E| entries), with
+// vertex v's neighbours at neighbors_[offsets_[v] .. offsets_[v+1])
+// sorted ascending. neighbors(v) returns a span directly into that
+// buffer, so scans over adjacent vertices (partition refinement, DSATUR,
+// clique search) walk one contiguous allocation instead of chasing
+// per-vertex heap blocks. degree() is an offset subtraction and
+// has_edge() a binary search within the row. Mutation goes through the
+// edge list only: add_edge() invalidates the CSR view until the next
+// finalize(), and accessors assert on a non-finalized graph.
 
 #include <cstddef>
 #include <span>
@@ -40,9 +50,7 @@ class Graph {
   void finalize();
 
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
-  [[nodiscard]] int num_vertices() const noexcept {
-    return static_cast<int>(adjacency_.size());
-  }
+  [[nodiscard]] int num_vertices() const noexcept { return num_vertices_; }
   [[nodiscard]] int num_edges() const noexcept {
     return static_cast<int>(edges_.size());
   }
@@ -81,7 +89,11 @@ class Graph {
   static int count_colors(std::span<const int> colors);
 
  private:
-  std::vector<std::vector<int>> adjacency_;
+  void check_vertex(int v) const;
+
+  int num_vertices_ = 0;
+  std::vector<int> offsets_;    // CSR row offsets, num_vertices_ + 1 entries
+  std::vector<int> neighbors_;  // CSR column indices, sorted per row
   std::vector<Edge> edges_;
   bool finalized_ = true;  // an empty graph is trivially finalized
 };

@@ -12,6 +12,7 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
     : config_(config), rng_(config.random_seed) {
   const auto n = static_cast<std::size_t>(formula.num_vars());
   assigns_.assign(n, LBool::Undef);
+  lit_values_.assign(2 * n, LBool::Undef);
   vardata_.assign(n, {});
   activity_.assign(n, 0.0);
   polarity_.assign(n, config_.default_phase ? 1 : 0);
@@ -32,7 +33,10 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
     if (!ok_) break;
     add_pb(c);
   }
-  max_learnts_ = std::max(2000.0, static_cast<double>(clauses_.size()) / 3.0);
+  max_learnts_ =
+      config_.max_learnts_init > 0.0
+          ? config_.max_learnts_init
+          : std::max(2000.0, static_cast<double>(arena_.live_clauses()) / 3.0);
 }
 
 bool CdclSolver::add_clause(Clause clause) {
@@ -53,13 +57,11 @@ bool CdclSolver::add_clause(Clause clause) {
     return false;
   }
   if (simplified.size() == 1) {
-    enqueue(simplified[0], {ReasonKind::None, -1});
+    enqueue(simplified[0], {ReasonKind::None, kInvalidClauseRef});
     if (propagate().valid()) ok_ = false;
     return ok_;
   }
-  SolverClause sc;
-  sc.lits = std::move(simplified);
-  attach_clause(std::move(sc));
+  attach_clause(simplified, /*learnt=*/false);
   return true;
 }
 
@@ -76,63 +78,71 @@ bool CdclSolver::add_pb(PbConstraint constraint) {
     for (const PbTerm& t : constraint.terms()) clause.push_back(t.lit);
     return add_clause(std::move(clause));
   }
-  attach_pb(std::move(constraint));
+  attach_pb(constraint);
   // The new constraint may already be conflicting or unit under the
   // level-0 assignment; propagate() alone would not notice (no new trail
   // entries), so check it directly.
-  const PbData& pb = pbs_.back();
-  if (pb.slack < 0) {
+  const auto pb_index = static_cast<std::uint32_t>(pbs_.size()) - 1;
+  if (pbs_[pb_index].slack < 0) {
     ok_ = false;
     return false;
   }
-  for (const PbTerm& t : pb.terms) {
-    if (t.coeff <= pb.slack) break;
+  for (const PbTerm& t : pb_terms(pbs_[pb_index])) {
+    if (t.coeff <= pbs_[pb_index].slack) break;
     if (value(t.lit) == LBool::Undef) {
-      enqueue(t.lit, {ReasonKind::PbRef, static_cast<int>(pbs_.size()) - 1});
+      enqueue(t.lit, {ReasonKind::PbRef, pb_index});
     }
   }
   if (propagate().valid()) ok_ = false;
   return ok_;
 }
 
-int CdclSolver::attach_clause(SolverClause clause) {
-  assert(clause.lits.size() >= 2);
-  const int cref = static_cast<int>(clauses_.size());
-  const Lit w0 = clause.lits[0];
-  const Lit w1 = clause.lits[1];
-  clauses_.push_back(std::move(clause));
-  watches_[static_cast<std::size_t>(w0.code())].push_back({cref, w1});
-  watches_[static_cast<std::size_t>(w1.code())].push_back({cref, w0});
+ClauseRef CdclSolver::attach_clause(std::span<const Lit> lits, bool learnt) {
+  assert(lits.size() >= 2);
+  const ClauseRef cref = arena_.alloc(lits, learnt);
+  const ClauseRef tagged = lits.size() == 2 ? (cref | kBinaryTag) : cref;
+  watches_[static_cast<std::size_t>(lits[0].code())].push_back(
+      {tagged, lits[1]});
+  watches_[static_cast<std::size_t>(lits[1].code())].push_back(
+      {tagged, lits[0]});
   return cref;
 }
 
-void CdclSolver::attach_pb(PbConstraint constraint) {
+void CdclSolver::attach_pb(const PbConstraint& constraint) {
   PbData data;
-  data.terms.assign(constraint.terms().begin(), constraint.terms().end());
+  data.terms_begin = static_cast<std::uint32_t>(pb_terms_.size());
+  data.terms_len = static_cast<std::uint32_t>(constraint.terms().size());
   data.bound = constraint.bound();
-  const int index = static_cast<int>(pbs_.size());
+  const auto index = static_cast<std::uint32_t>(pbs_.size());
   std::int64_t slack = -data.bound;
-  for (const PbTerm& t : data.terms) {
-    pb_occs_[static_cast<std::size_t>(t.lit.code())].push_back({index, t.coeff});
+  for (const PbTerm& t : constraint.terms()) {
+    pb_terms_.push_back(t);
+    pb_occs_[static_cast<std::size_t>(t.lit.code())].push_back(
+        {index, t.coeff});
     // Literals already false at level 0 contribute nothing to slack.
     if (value(t.lit) != LBool::False) slack += t.coeff;
   }
   data.slack = slack;
-  pbs_.push_back(std::move(data));
+  // Terms arrive sorted by descending coefficient (PbConstraint invariant).
+  data.max_coeff = data.terms_len > 0 ? constraint.terms()[0].coeff : 0;
+  pbs_.push_back(data);
 }
 
 void CdclSolver::enqueue(Lit l, Reason reason) {
   assert(value(l) == LBool::Undef);
   const auto v = static_cast<std::size_t>(l.var());
   assigns_[v] = lbool_of(!l.negated());
+  lit_values_[static_cast<std::size_t>(l.code())] = LBool::True;
+  lit_values_[static_cast<std::size_t>((~l).code())] = LBool::False;
   vardata_[v].reason = reason;
   vardata_[v].level = decision_level();
   vardata_[v].trail_pos = static_cast<int>(trail_.size());
   trail_.push_back(l);
+  if (pbs_.empty()) return;
   // PB slack bookkeeping: literal ~l just became false.
   const Lit falsified = ~l;
   for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
-    pbs_[static_cast<std::size_t>(occ.pb_index)].slack -= occ.coeff;
+    pbs_[occ.pb_index].slack -= occ.coeff;
   }
 }
 
@@ -141,10 +151,15 @@ CdclSolver::Conflict CdclSolver::propagate_pb_for(Lit falsified) {
   // and propagate forced literals for every constraint containing the
   // falsified literal.
   for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
-    PbData& pb = pbs_[static_cast<std::size_t>(occ.pb_index)];
+    PbData& pb = pbs_[occ.pb_index];
     if (pb.slack < 0) return {ReasonKind::PbRef, occ.pb_index};
-    // A term with coefficient exceeding the slack cannot go false.
-    for (const PbTerm& t : pb.terms) {
+    if (pb.slack >= pb.max_coeff) {
+      // No coefficient exceeds the slack: the constraint can neither
+      // conflict nor force anything, so skip the term scan entirely.
+      ++stats_.pb_short_circuits;
+      continue;
+    }
+    for (const PbTerm& t : pb_terms(pb)) {
       if (t.coeff <= pb.slack) break;  // terms sorted by descending coeff
       if (value(t.lit) == LBool::Undef) {
         enqueue(t.lit, {ReasonKind::PbRef, occ.pb_index});
@@ -159,57 +174,83 @@ CdclSolver::Conflict CdclSolver::propagate() {
     const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
     ++stats_.propagations;
     const Lit falsified = ~p;
+    const auto fcode = static_cast<std::uint32_t>(falsified.code());
 
     // --- clause propagation via two watched literals ---
+    // ws never grows during the scan (new watches go to other literals'
+    // lists — the moved-to literal is non-false, the falsified one is
+    // false), so data/size can be hoisted past the push_back aliasing
+    // barrier the compiler cannot see through.
     auto& ws = watches_[static_cast<std::size_t>(falsified.code())];
+    Watcher* const ws_data = ws.data();
+    const std::size_t ws_size = ws.size();
     std::size_t keep = 0;
-    for (std::size_t read = 0; read < ws.size(); ++read) {
-      const Watcher w = ws[read];
+    for (std::size_t read = 0; read < ws_size; ++read) {
+      const Watcher w = ws_data[read];
       if (value(w.blocker) == LBool::True) {
-        ws[keep++] = w;
+        ws_data[keep++] = w;
         continue;
       }
-      SolverClause& clause = clauses_[static_cast<std::size_t>(w.cref)];
-      if (clause.deleted) continue;  // lazily dropped watcher
-      auto& lits = clause.lits;
+      if ((w.cref & kBinaryTag) != 0) {
+        // Binary clause: the blocker is the other literal, so it is unit
+        // or conflicting right now — no arena access needed.
+        const ClauseRef cref = w.cref & ~kBinaryTag;
+        ws_data[keep++] = w;
+        if (value(w.blocker) == LBool::False) {
+          for (std::size_t rest = read + 1; rest < ws_size; ++rest) {
+            ws_data[keep++] = ws_data[rest];
+          }
+          ws.resize(keep);
+          qhead_ = static_cast<int>(trail_.size());
+          return {ReasonKind::ClauseRef, cref};
+        }
+        enqueue(w.blocker, {ReasonKind::ClauseRef, cref});
+        continue;
+      }
+      std::uint32_t* lits = arena_.lit_codes(w.cref);
+      const int size = arena_.size(w.cref);
       // Ensure the falsified literal sits at position 1.
-      if (lits[0] == falsified) std::swap(lits[0], lits[1]);
-      assert(lits[1] == falsified);
-      if (value(lits[0]) == LBool::True) {
-        ws[keep++] = {w.cref, lits[0]};
+      if (lits[0] == fcode) std::swap(lits[0], lits[1]);
+      assert(lits[1] == fcode);
+      const Lit first = Lit::from_code(static_cast<int>(lits[0]));
+      if (value(first) == LBool::True) {
+        ws_data[keep++] = {w.cref, first};
         continue;
       }
       bool moved = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
-        if (value(lits[k]) != LBool::False) {
+      for (int k = 2; k < size; ++k) {
+        const Lit lk = Lit::from_code(static_cast<int>(lits[k]));
+        if (value(lk) != LBool::False) {
           std::swap(lits[1], lits[k]);
-          watches_[static_cast<std::size_t>(lits[1].code())].push_back(
-              {w.cref, lits[0]});
+          watches_[static_cast<std::size_t>(lits[1])].push_back(
+              {w.cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Unit or conflicting.
-      ws[keep++] = w;
-      if (value(lits[0]) == LBool::False) {
+      ws_data[keep++] = w;
+      if (value(first) == LBool::False) {
         // Conflict: restore the remaining watchers and report.
-        for (std::size_t rest = read + 1; rest < ws.size(); ++rest) {
-          ws[keep++] = ws[rest];
+        for (std::size_t rest = read + 1; rest < ws_size; ++rest) {
+          ws_data[keep++] = ws_data[rest];
         }
         ws.resize(keep);
         qhead_ = static_cast<int>(trail_.size());
         return {ReasonKind::ClauseRef, w.cref};
       }
-      enqueue(lits[0], {ReasonKind::ClauseRef, w.cref});
+      enqueue(first, {ReasonKind::ClauseRef, w.cref});
     }
     ws.resize(keep);
 
     // --- PB propagation ---
-    const Conflict conflict = propagate_pb_for(falsified);
-    if (conflict.valid()) {
-      qhead_ = static_cast<int>(trail_.size());
-      return conflict;
+    if (!pbs_.empty()) {
+      const Conflict conflict = propagate_pb_for(falsified);
+      if (conflict.valid()) {
+        qhead_ = static_cast<int>(trail_.size());
+        return conflict;
+      }
     }
   }
   return {};
@@ -219,14 +260,16 @@ void CdclSolver::collect_reason(Reason reason, Lit implied,
                                 std::vector<Lit>* out) const {
   out->clear();
   if (reason.kind == ReasonKind::ClauseRef) {
-    const auto& lits = clauses_[static_cast<std::size_t>(reason.index)].lits;
-    for (const Lit l : lits) {
+    const std::uint32_t* codes = arena_.lit_codes(reason.index);
+    const int size = arena_.size(reason.index);
+    for (int i = 0; i < size; ++i) {
+      const Lit l = Lit::from_code(static_cast<int>(codes[i]));
       if (l != implied) out->push_back(l);
     }
     return;
   }
   assert(reason.kind == ReasonKind::PbRef);
-  const PbData& pb = pbs_[static_cast<std::size_t>(reason.index)];
+  const PbData& pb = pbs_[reason.index];
   // Clausal weakening of the PB implication: the false literals of the
   // constraint entail `implied` (or a conflict when implied is undef).
   // For a reason (not a conflict) only literals falsified strictly before
@@ -235,7 +278,7 @@ void CdclSolver::collect_reason(Reason reason, Lit implied,
       implied.valid()
           ? vardata_[static_cast<std::size_t>(implied.var())].trail_pos
           : static_cast<int>(trail_.size());
-  for (const PbTerm& t : pb.terms) {
+  for (const PbTerm& t : pb_terms(pb)) {
     if (t.lit == implied) continue;
     if (value(t.lit) != LBool::False) continue;
     if (vardata_[static_cast<std::size_t>(t.lit.var())].trail_pos >=
@@ -251,11 +294,16 @@ void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
   learnt->clear();
   learnt->push_back(kUndefLit);  // slot for the asserting (1UIP) literal
 
-  std::vector<Lit> reason_lits;
+  std::vector<Lit>& reason_lits = analyze_stack_;
+  reason_lits.clear();
   if (conflict.kind == ReasonKind::ClauseRef) {
-    SolverClause& c = clauses_[static_cast<std::size_t>(conflict.index)];
-    bump_clause(c);
-    reason_lits.assign(c.lits.begin(), c.lits.end());
+    bump_clause(conflict.index);
+    const std::uint32_t* codes = arena_.lit_codes(conflict.index);
+    const int size = arena_.size(conflict.index);
+    reason_lits.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      reason_lits.push_back(Lit::from_code(static_cast<int>(codes[i])));
+    }
   } else {
     collect_reason({conflict.kind, conflict.index}, kUndefLit, &reason_lits);
   }
@@ -292,7 +340,7 @@ void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
     const Reason r = vardata_[static_cast<std::size_t>(p.var())].reason;
     assert(r.kind != ReasonKind::None);
     if (r.kind == ReasonKind::ClauseRef) {
-      bump_clause(clauses_[static_cast<std::size_t>(r.index)]);
+      bump_clause(r.index);
     }
     collect_reason(r, p, &reason_lits);
   }
@@ -351,15 +399,19 @@ void CdclSolver::backtrack(int target_level) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
     const Lit p = trail_[static_cast<std::size_t>(i)];
     const auto v = static_cast<std::size_t>(p.var());
-    // Restore PB slack for the literal that stops being false.
-    const Lit falsified = ~p;
-    for (const PbOcc& occ :
-         pb_occs_[static_cast<std::size_t>(falsified.code())]) {
-      pbs_[static_cast<std::size_t>(occ.pb_index)].slack += occ.coeff;
+    if (!pbs_.empty()) {
+      // Restore PB slack for the literal that stops being false.
+      const Lit falsified = ~p;
+      for (const PbOcc& occ :
+           pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+        pbs_[occ.pb_index].slack += occ.coeff;
+      }
     }
     if (config_.phase_saving) polarity_[v] = p.negated() ? 0 : 1;
     assigns_[v] = LBool::Undef;
-    vardata_[v].reason = {ReasonKind::None, -1};
+    lit_values_[static_cast<std::size_t>(p.code())] = LBool::Undef;
+    lit_values_[static_cast<std::size_t>((~p).code())] = LBool::Undef;
+    vardata_[v].reason = {ReasonKind::None, kInvalidClauseRef};
     order_.insert(p.var());
   }
   trail_.resize(static_cast<std::size_t>(bound));
@@ -401,12 +453,16 @@ void CdclSolver::bump_var(Var v) {
   order_.update(v);
 }
 
-void CdclSolver::bump_clause(SolverClause& c) {
-  if (!c.learnt) return;
-  c.activity += static_cast<float>(clause_inc_);
-  if (c.activity > 1e20f) {
-    for (SolverClause& sc : clauses_) {
-      if (sc.learnt) sc.activity *= 1e-20f;
+void CdclSolver::bump_clause(ClauseRef cref) {
+  if (!arena_.learnt(cref)) return;
+  const float bumped =
+      arena_.activity(cref) + static_cast<float>(clause_inc_);
+  arena_.set_activity(cref, bumped);
+  if (bumped > 1e20f) {
+    for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
+      if (arena_.learnt(cr)) {
+        arena_.set_activity(cr, arena_.activity(cr) * 1e-20f);
+      }
     }
     clause_inc_ *= 1e-20;
   }
@@ -417,10 +473,8 @@ void CdclSolver::decay_activities() {
   clause_inc_ /= config_.clause_decay;
 }
 
-bool CdclSolver::clause_locked(int cref) const {
-  const SolverClause& c = clauses_[static_cast<std::size_t>(cref)];
-  if (c.lits.empty()) return false;
-  const Lit first = c.lits[0];
+bool CdclSolver::clause_locked(ClauseRef cref) const {
+  const Lit first = arena_.lit(cref, 0);
   const VarData& vd = vardata_[static_cast<std::size_t>(first.var())];
   return value(first) == LBool::True &&
          vd.reason.kind == ReasonKind::ClauseRef && vd.reason.index == cref;
@@ -428,33 +482,60 @@ bool CdclSolver::clause_locked(int cref) const {
 
 void CdclSolver::reduce_db() {
   // Collect deletable learnt clauses, drop the less active half.
-  std::vector<int> candidates;
-  for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
-    const SolverClause& c = clauses_[static_cast<std::size_t>(i)];
-    if (c.learnt && !c.deleted && c.lits.size() > 2 && !clause_locked(i)) {
-      candidates.push_back(i);
+  std::vector<ClauseRef> candidates;
+  for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
+    if (arena_.learnt(cr) && arena_.size(cr) > 2 && !clause_locked(cr)) {
+      candidates.push_back(cr);
     }
   }
-  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-    return clauses_[static_cast<std::size_t>(a)].activity <
-           clauses_[static_cast<std::size_t>(b)].activity;
-  });
+  std::sort(candidates.begin(), candidates.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              return arena_.activity(a) < arena_.activity(b);
+            });
   const std::size_t drop = candidates.size() / 2;
+  if (drop == 0) return;  // nothing to compact; skip the arena copy
   for (std::size_t i = 0; i < drop; ++i) {
-    clauses_[static_cast<std::size_t>(candidates[i])].deleted = true;
+    arena_.set_deleted(candidates[i]);
     --learnt_count_;
     ++stats_.deleted_clauses;
   }
-  // Rebuild watch lists without the deleted clauses.
-  for (auto& ws : watches_) ws.clear();
-  for (int i = 0; i < static_cast<int>(clauses_.size()); ++i) {
-    SolverClause& c = clauses_[static_cast<std::size_t>(i)];
-    if (c.deleted) continue;
-    watches_[static_cast<std::size_t>(c.lits[0].code())].push_back(
-        {i, c.lits[1]});
-    watches_[static_cast<std::size_t>(c.lits[1].code())].push_back(
-        {i, c.lits[0]});
+  garbage_collect();
+}
+
+void CdclSolver::garbage_collect() {
+  // Compact live clauses into a fresh arena in layout order, then remap
+  // every stored ClauseRef (watch lists and trail reasons) through the
+  // forwarding pointers the relocation left behind. Deleted clauses are
+  // simply not copied, so no tombstones survive into the next propagation.
+  ClauseArena to;
+  to.reserve(arena_.words());
+  for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
+    if (!arena_.deleted(cr)) arena_.relocate(cr, &to);
   }
+  for (auto& ws : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : ws) {
+      const ClauseRef raw = w.cref & ~kBinaryTag;
+      if (!arena_.deleted(raw)) {
+        ws[keep++] = {arena_.forward(raw) | (w.cref & kBinaryTag), w.blocker};
+      }
+    }
+    ws.resize(keep);
+  }
+  for (const Lit l : trail_) {
+    Reason& reason = vardata_[static_cast<std::size_t>(l.var())].reason;
+    if (reason.kind == ReasonKind::ClauseRef) {
+      reason.index = arena_.forward(reason.index);
+    }
+  }
+  arena_ = std::move(to);
+  ++stats_.arena_collections;
+}
+
+std::size_t CdclSolver::total_watchers() const {
+  std::size_t total = 0;
+  for (const auto& ws : watches_) total += ws.size();
+  return total;
 }
 
 SolveResult CdclSolver::solve(const Deadline& deadline,
@@ -509,13 +590,10 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         analyze(conflict, &learnt, &backjump);
         backtrack(backjump);
         if (learnt.size() == 1) {
-          enqueue(learnt[0], {ReasonKind::None, -1});
+          enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
         } else {
-          SolverClause sc;
-          sc.learnt = true;
-          sc.lits = learnt;
-          const int cref = attach_clause(std::move(sc));
-          bump_clause(clauses_[static_cast<std::size_t>(cref)]);
+          const ClauseRef cref = attach_clause(learnt, /*learnt=*/true);
+          bump_clause(cref);
           enqueue(learnt[0], {ReasonKind::ClauseRef, cref});
           ++learnt_count_;
           ++stats_.learned_clauses;
@@ -559,7 +637,7 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         ++stats_.decisions;
       }
       new_decision_level();
-      enqueue(next, {ReasonKind::None, -1});
+      enqueue(next, {ReasonKind::None, kInvalidClauseRef});
     }
   }
 }

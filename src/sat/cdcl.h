@@ -14,6 +14,23 @@
 //
 // The configuration knobs expose exactly the axes along which the paper's
 // three academic solvers differ; see pb/solver_profiles.h.
+//
+// Constraint storage (the propagation hot path):
+//   * Clauses live in a single contiguous ClauseArena (sat/clause_arena.h)
+//     as [header | activity | lits...] records addressed by 32-bit
+//     ClauseRefs. Watchers carry {ClauseRef, blocker literal}; a watcher
+//     visit whose blocker is already true never touches the arena at all.
+//   * reduce_db() performs MiniSat-style garbage collection: live clauses
+//     are compacted into a fresh arena in layout order and every stored
+//     ref (watch lists, trail reasons) is remapped through the forwarding
+//     pointers. There are no tombstones — propagation never skips dead
+//     records, and watcher lists physically shrink at every reduction.
+//   * PB constraint terms are flattened into one shared pool
+//     (pb_terms_); each PbData row holds an offset/length into it plus the
+//     cached slack and the largest coefficient. Propagation short-circuits
+//     any constraint whose cached slack is at least its max coefficient:
+//     such a constraint can neither be conflicting nor force a literal, so
+//     its term list is never scanned.
 
 #include <cstdint>
 #include <span>
@@ -21,6 +38,7 @@
 
 #include "cnf/formula.h"
 #include "cnf/literals.h"
+#include "sat/clause_arena.h"
 #include "sat/heap.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -50,6 +68,10 @@ struct SolverConfig {
   std::uint64_t random_seed = 0x5EED;
   /// Hard conflict budget; <= 0 means unlimited.
   std::int64_t conflict_budget = 0;
+  /// Initial learned-clause limit before the first reduce_db(); <= 0 means
+  /// the automatic max(2000, num_clauses / 3). Tests use a tiny value to
+  /// force frequent reductions/collections.
+  double max_learnts_init = 0.0;
 };
 
 struct SolverStats {
@@ -61,6 +83,10 @@ struct SolverStats {
   std::int64_t learned_literals = 0;
   std::int64_t minimized_literals = 0;
   std::int64_t deleted_clauses = 0;
+  /// Arena garbage collections performed by reduce_db().
+  std::int64_t arena_collections = 0;
+  /// PB constraints skipped because slack >= max coefficient.
+  std::int64_t pb_short_circuits = 0;
 };
 
 /// One solver instance owns a private copy of the formula's constraints.
@@ -95,45 +121,65 @@ class CdclSolver {
     return static_cast<int>(assigns_.size());
   }
 
+  // ---- storage introspection (tests / benchmarks) ----
+  /// Total watcher entries across all literals. After a collection this is
+  /// exactly 2 * live_clauses(): no tombstone watchers survive.
+  [[nodiscard]] std::size_t total_watchers() const;
+  /// Clauses currently attached (problem + learned, excluding units).
+  [[nodiscard]] std::int64_t live_clauses() const noexcept {
+    return arena_.live_clauses();
+  }
+  /// 32-bit words owned by the clause arena.
+  [[nodiscard]] std::size_t arena_words() const noexcept {
+    return arena_.words();
+  }
+
  private:
   // ---- constraint storage ----
-  struct SolverClause {
-    float activity = 0.0f;
-    bool learnt = false;
-    bool deleted = false;
-    std::vector<Lit> lits;
-  };
+  /// Watchers tag binary clauses in the ref's top bit: for those the
+  /// blocker IS the other literal, so propagation resolves the clause
+  /// (satisfied / unit / conflicting) without ever touching the arena.
+  static constexpr ClauseRef kBinaryTag = 0x80000000u;
   struct Watcher {
-    int cref = -1;
+    ClauseRef cref = kInvalidClauseRef;  // kBinaryTag | ref for binaries
     Lit blocker;
   };
+  /// One PB row: a view into the shared term pool plus cached slack.
   struct PbData {
-    std::vector<PbTerm> terms;
+    std::uint32_t terms_begin = 0;  // offset into pb_terms_
+    std::uint32_t terms_len = 0;
     std::int64_t bound = 0;
-    std::int64_t slack = 0;  // sum of non-false coefficients minus bound
+    std::int64_t slack = 0;      // sum of non-false coefficients minus bound
+    std::int64_t max_coeff = 0;  // terms are sorted by descending coeff
   };
   struct PbOcc {
-    int pb_index = -1;
+    std::uint32_t pb_index = 0;
     std::int64_t coeff = 0;
   };
+  [[nodiscard]] std::span<const PbTerm> pb_terms(const PbData& pb) const {
+    return {pb_terms_.data() + pb.terms_begin, pb.terms_len};
+  }
 
   // ---- reasons ----
   enum class ReasonKind : std::uint8_t { None, ClauseRef, PbRef };
   struct Reason {
     ReasonKind kind = ReasonKind::None;
-    int index = -1;
+    std::uint32_t index = kInvalidClauseRef;  // ClauseRef or pbs_ index
   };
   struct Conflict {
     ReasonKind kind = ReasonKind::None;
-    int index = -1;
+    std::uint32_t index = kInvalidClauseRef;
     [[nodiscard]] bool valid() const noexcept {
       return kind != ReasonKind::None;
     }
   };
 
   // ---- core operations ----
+  // lit_values_ mirrors assigns_ per literal code (maintained by
+  // enqueue/backtrack) so the hot value(Lit) is one byte load with no
+  // sign arithmetic.
   [[nodiscard]] LBool value(Lit l) const noexcept {
-    return lit_value(assigns_[static_cast<std::size_t>(l.var())], l.negated());
+    return lit_values_[static_cast<std::size_t>(l.code())];
   }
   [[nodiscard]] LBool value(Var v) const noexcept {
     return assigns_[static_cast<std::size_t>(v)];
@@ -155,25 +201,28 @@ class CdclSolver {
   Lit pick_branch();
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
 
-  int attach_clause(SolverClause clause);
-  void attach_pb(PbConstraint constraint);
+  ClauseRef attach_clause(std::span<const Lit> lits, bool learnt);
+  void attach_pb(const PbConstraint& constraint);
   void bump_var(Var v);
-  void bump_clause(SolverClause& c);
+  void bump_clause(ClauseRef cref);
   void decay_activities();
   void reduce_db();
-  [[nodiscard]] bool clause_locked(int cref) const;
+  void garbage_collect();
+  [[nodiscard]] bool clause_locked(ClauseRef cref) const;
 
   // ---- state ----
   SolverConfig config_;
   SolverStats stats_;
   Rng rng_;
 
-  std::vector<SolverClause> clauses_;
+  ClauseArena arena_;
   std::vector<std::vector<Watcher>> watches_;   // by literal code
   std::vector<PbData> pbs_;
+  std::vector<PbTerm> pb_terms_;                // shared flat term pool
   std::vector<std::vector<PbOcc>> pb_occs_;     // by literal code
 
-  std::vector<LBool> assigns_;
+  std::vector<LBool> assigns_;      // by variable (model extraction)
+  std::vector<LBool> lit_values_;   // by literal code (hot-path lookups)
   struct VarData {
     Reason reason;
     int level = 0;

@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <span>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "graph/dimacs_col.h"
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace symcolor {
 namespace {
@@ -236,6 +242,87 @@ TEST(DimacsCol, WriterEmitsHeaderAndComment) {
   EXPECT_NE(text.find("c hello"), std::string::npos);
   EXPECT_NE(text.find("p edge 2 1"), std::string::npos);
   EXPECT_NE(text.find("e 1 2"), std::string::npos);
+}
+
+// ---- CSR layout vs reference adjacency ----
+
+/// A trivially-correct adjacency structure built straight from an edge
+/// list, used to cross-check the CSR accessors.
+struct ReferenceAdjacency {
+  explicit ReferenceAdjacency(int n) : adj(static_cast<std::size_t>(n)) {}
+  void add(int u, int v) {
+    if (u == v) return;
+    adj[static_cast<std::size_t>(u)].insert(v);
+    adj[static_cast<std::size_t>(v)].insert(u);
+  }
+  std::vector<std::set<int>> adj;
+};
+
+class CsrEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrEquivalenceTest, MatchesReferenceOnRandomGraph) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.below(40));
+  const int max_edges = n * (n - 1) / 2;
+  const int m = static_cast<int>(rng.below(
+      static_cast<std::uint64_t>(2 * max_edges) + 1));  // includes duplicates
+  Graph g(n);
+  ReferenceAdjacency ref(n);
+  for (int i = 0; i < m; ++i) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    g.add_edge(u, v);
+    ref.add(u, v);
+  }
+  g.finalize();
+
+  int max_degree = 0;
+  for (int v = 0; v < n; ++v) {
+    const std::set<int>& expected = ref.adj[static_cast<std::size_t>(v)];
+    EXPECT_EQ(g.degree(v), static_cast<int>(expected.size())) << "v=" << v;
+    max_degree = std::max(max_degree, static_cast<int>(expected.size()));
+    // neighbors() must be exactly the reference set, sorted ascending.
+    const std::span<const int> got = g.neighbors(v);
+    ASSERT_EQ(got.size(), expected.size()) << "v=" << v;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end())) << "v=" << v;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()))
+        << "v=" << v;
+    for (int u = 0; u < n; ++u) {
+      EXPECT_EQ(g.has_edge(v, u), expected.count(u) == 1)
+          << "v=" << v << " u=" << u;
+    }
+  }
+  EXPECT_EQ(g.max_degree(), max_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsrEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Graph, CsrRebuildAfterMutation) {
+  // add_edge() after finalize() must invalidate and then rebuild the CSR
+  // arrays consistently.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  const std::span<const int> adj0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<int>(adj0.begin(), adj0.end()),
+            (std::vector<int>{1, 2}));
+}
+
+TEST(Graph, NeighborsOutOfRangeThrows) {
+  const Graph g = triangle();
+  EXPECT_THROW(g.neighbors(-1), std::out_of_range);
+  EXPECT_THROW(g.neighbors(3), std::out_of_range);
+  EXPECT_THROW(g.degree(3), std::out_of_range);
+  EXPECT_THROW(g.has_edge(0, 7), std::out_of_range);
 }
 
 }  // namespace

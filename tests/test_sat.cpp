@@ -6,6 +6,7 @@
 
 #include "cnf/formula.h"
 #include "sat/cdcl.h"
+#include "sat/clause_arena.h"
 #include "sat/luby.h"
 #include "util/rng.h"
 
@@ -256,6 +257,142 @@ TEST(Cdcl, StatsAccumulate) {
   EXPECT_GT(solver.stats().decisions, 0);
   EXPECT_GT(solver.stats().propagations, 0);
   EXPECT_GT(solver.stats().learned_clauses, 0);
+}
+
+// ---- clause arena storage ----
+
+TEST(ClauseArena, AllocRoundTrip) {
+  ClauseArena arena;
+  const std::vector<Lit> a{Lit::positive(0), Lit::negative(1),
+                           Lit::positive(2)};
+  const std::vector<Lit> b{Lit::negative(3), Lit::positive(4)};
+  const ClauseRef ra = arena.alloc(a, /*learnt=*/false);
+  const ClauseRef rb = arena.alloc(b, /*learnt=*/true);
+  ASSERT_EQ(arena.live_clauses(), 2);
+
+  EXPECT_EQ(arena.size(ra), 3);
+  EXPECT_FALSE(arena.learnt(ra));
+  EXPECT_EQ(arena.size(rb), 2);
+  EXPECT_TRUE(arena.learnt(rb));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(arena.lit(ra, i), a[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 2; ++i) EXPECT_EQ(arena.lit(rb, i), b[static_cast<std::size_t>(i)]);
+
+  EXPECT_EQ(arena.activity(rb), 0.0f);
+  arena.set_activity(rb, 3.5f);
+  EXPECT_EQ(arena.activity(rb), 3.5f);
+  // Activities are per-record: ra is untouched.
+  EXPECT_EQ(arena.activity(ra), 0.0f);
+
+  // Layout-order iteration visits exactly the two records.
+  std::vector<ClauseRef> seen;
+  for (ClauseRef cr = 0; cr != arena.end_ref(); cr = arena.next(cr)) {
+    seen.push_back(cr);
+  }
+  EXPECT_EQ(seen, (std::vector<ClauseRef>{ra, rb}));
+}
+
+TEST(ClauseArena, RelocationCompactsAndForwards) {
+  ClauseArena arena;
+  std::vector<ClauseRef> refs;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<Lit> lits{Lit::positive(2 * i), Lit::negative(2 * i + 1),
+                          Lit::positive(2 * i + 1)};
+    refs.push_back(arena.alloc(lits, i % 2 == 1));
+    arena.set_activity(refs.back(), static_cast<float>(i));
+  }
+  // Delete every other clause, compact the survivors.
+  for (int i = 0; i < 8; i += 2) arena.set_deleted(refs[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(arena.live_clauses(), 4);
+
+  ClauseArena to;
+  for (ClauseRef cr = 0; cr != arena.end_ref(); cr = arena.next(cr)) {
+    if (!arena.deleted(cr)) arena.relocate(cr, &to);
+  }
+  EXPECT_EQ(to.live_clauses(), 4);
+  // The new arena holds only live records: half the payload words.
+  EXPECT_EQ(to.words(), arena.words() / 2);
+  for (int i = 1; i < 8; i += 2) {
+    const ClauseRef old = refs[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(arena.relocated(old));
+    const ClauseRef fwd = arena.forward(old);
+    EXPECT_EQ(to.size(fwd), 3);
+    EXPECT_EQ(to.learnt(fwd), i % 2 == 1);
+    EXPECT_EQ(to.activity(fwd), static_cast<float>(i));
+    EXPECT_EQ(to.lit(fwd, 0), Lit::positive(2 * i));
+  }
+  // Deleted records were never relocated.
+  for (int i = 0; i < 8; i += 2) {
+    EXPECT_FALSE(arena.relocated(refs[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(Cdcl, ReduceDbShrinksWatcherLists) {
+  // Regression for the tombstone leak: deleted clauses used to stay in
+  // the clause vector and watch lists forever. With arena GC, every
+  // reduction compacts storage, so after solving the watcher count must
+  // equal exactly two per live clause — no dead refs linger.
+  SolverConfig config;
+  config.max_learnts_init = 8;  // force frequent reductions
+  CdclSolver solver(pigeonhole(6, 5), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().deleted_clauses, 0);
+  EXPECT_GT(solver.stats().arena_collections, 0);
+  EXPECT_EQ(solver.total_watchers(),
+            2 * static_cast<std::size_t>(solver.live_clauses()));
+}
+
+TEST(Cdcl, ArenaGcPreservesAnswersUnderLoad) {
+  // GC-under-load: a tiny learnt limit makes reduce_db()/collection fire
+  // constantly while random instances are solved; answers must still
+  // agree with brute force.
+  SolverConfig config;
+  config.max_learnts_init = 4;
+  Rng rng(0xA11A);
+  for (int round = 0; round < 20; ++round) {
+    const int vars = 6 + static_cast<int>(rng.below(6));
+    Formula f;
+    f.new_vars(vars);
+    const int clauses = 3 * vars + static_cast<int>(rng.below(12));
+    for (int c = 0; c < clauses; ++c) {
+      Clause clause;
+      const int len = 1 + static_cast<int>(rng.below(4));
+      for (int i = 0; i < len; ++i) {
+        clause.push_back(
+            Lit(static_cast<Var>(rng.below(static_cast<std::uint64_t>(vars))),
+                rng.chance(0.5)));
+      }
+      f.add_clause(std::move(clause));
+    }
+    CdclSolver solver(f, config);
+    const SolveResult r = solver.solve();
+    ASSERT_NE(r, SolveResult::Unknown);
+    EXPECT_EQ(r == SolveResult::Sat, brute_force_sat(f)) << "round " << round;
+    if (r == SolveResult::Sat) {
+      EXPECT_TRUE(f.satisfied_by(solver.model()));
+    }
+    // Storage stays consistent after every solve.
+    EXPECT_EQ(solver.total_watchers(),
+              2 * static_cast<std::size_t>(solver.live_clauses()));
+  }
+}
+
+TEST(Cdcl, PbShortCircuitCountsAndStaysCorrect) {
+  // A loose PB constraint (slack never near zero) must be short-circuited
+  // rather than rescanned, without changing the answer.
+  Formula f;
+  const Var first = f.new_vars(10);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 10; ++i) lits.push_back(Lit::positive(first + i));
+  f.add_at_least(lits, 1);  // clause-strength, but keep a PB row too
+  std::vector<PbTerm> terms;
+  for (const Lit l : lits) terms.push_back({1, l});
+  f.add_pb(PbConstraint::at_least(terms, 2));  // loose cardinality
+  for (int i = 0; i + 1 < 10; ++i) {
+    f.add_clause({Lit::negative(first + i), Lit::positive(first + i + 1)});
+  }
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_TRUE(f.satisfied_by(solver.model()));
 }
 
 TEST(Luby, FirstElements) {
