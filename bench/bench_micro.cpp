@@ -29,6 +29,7 @@
 #include "pb/optimizer.h"
 #include "pb/solver_profiles.h"
 #include "sat/cdcl.h"
+#include "sat/watcher_pool.h"
 #include "symmetry/formula_graph.h"
 #include "symmetry/shatter.h"
 
@@ -118,6 +119,68 @@ void BM_CdclPbPropagationThroughput(benchmark::State& state) {
       static_cast<double>(propagations), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CdclPbPropagationThroughput)->Arg(6)->Arg(7);
+
+// Same queen decision workload under adaptive (LBD-EMA) restarts: tracks
+// the scheduling overhead and search-quality effect of the Glucose-style
+// scheme against the Luby default of BM_CdclQueenDecision.
+void BM_CdclAdaptiveRestartDecision(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_k_coloring(g, 5, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.restart_scheme = RestartScheme::Adaptive;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_CdclAdaptiveRestartDecision);
+
+// Propagation throughput under constant clause-database churn: a tiny
+// learnt limit drives reduce_db() (LBD-tiered retention + arena GC +
+// watcher-pool compaction) every few conflicts, so this measures how much
+// the tiered reduction machinery taxes the hot path.
+void BM_CdclReduceDbChurn(benchmark::State& state) {
+  const Graph g = make_queen_graph(7, 7);
+  const ColoringEncoding enc = encode_k_coloring(g, 8, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.conflict_budget = 1000;
+  config.max_learnts_init = 64;
+  std::int64_t propagations = 0;
+  std::int64_t collections = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve());
+    propagations += solver.stats().propagations;
+    collections += solver.stats().arena_collections;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+  state.counters["collections_per_iter"] =
+      static_cast<double>(collections) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CdclReduceDbChurn);
+
+// Raw flat-pool cost: interleaved pushes across many rows (the watch-list
+// write pattern during clause attachment) followed by a compaction, per
+// iteration. Tracks the amortized-doubling growth path in isolation.
+void BM_WatcherPoolChurn(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  struct Entry {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  for (auto _ : state) {
+    FlatOccPool<Entry> pool;
+    pool.init(rows);
+    for (std::uint32_t i = 0; i < 16 * rows; ++i) {
+      pool.push(i % rows, {i, i ^ 0x5EEDu});
+    }
+    pool.compact();
+    benchmark::DoNotOptimize(pool.live_entries());
+  }
+}
+BENCHMARK(BM_WatcherPoolChurn)->Arg(256)->Arg(4096);
 
 void BM_MinimizeMyciel(benchmark::State& state) {
   const Graph g = make_myciel_dimacs(static_cast<int>(state.range(0)));

@@ -17,8 +17,15 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
   activity_.assign(n, 0.0);
   polarity_.assign(n, config_.default_phase ? 1 : 0);
   seen_.assign(n, 0);
-  watches_.assign(2 * n, {});
-  pb_occs_.assign(2 * n, {});
+  lbd_level_stamp_.assign(n + 1, 0);  // one slot per possible decision level
+  watches_.init(2 * n);
+  bin_watches_.init(2 * n);
+  pb_occs_.init(2 * n);
+
+  // The trail holds at most one entry per variable: reserving up front
+  // removes the capacity branch from enqueue() for the whole search.
+  trail_.reserve(n);
+  trail_lim_.reserve(n);
 
   std::vector<Var> vars(n);
   for (std::size_t v = 0; v < n; ++v) vars[v] = static_cast<Var>(v);
@@ -33,10 +40,14 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
     if (!ok_) break;
     add_pb(c);
   }
+  // Aggressive first reduction (Glucose lineage): with LBD tiers
+  // protecting core/mid clauses, a small local pool propagates much
+  // faster than MiniSat's max(2000, m/3) would allow, and the 1.2 growth
+  // per reduction still lets the DB scale with genuinely hard searches.
   max_learnts_ =
       config_.max_learnts_init > 0.0
           ? config_.max_learnts_init
-          : std::max(2000.0, static_cast<double>(arena_.live_clauses()) / 3.0);
+          : std::max(800.0, static_cast<double>(arena_.live_clauses()) / 8.0);
 }
 
 bool CdclSolver::add_clause(Clause clause) {
@@ -100,11 +111,9 @@ bool CdclSolver::add_pb(PbConstraint constraint) {
 ClauseRef CdclSolver::attach_clause(std::span<const Lit> lits, bool learnt) {
   assert(lits.size() >= 2);
   const ClauseRef cref = arena_.alloc(lits, learnt);
-  const ClauseRef tagged = lits.size() == 2 ? (cref | kBinaryTag) : cref;
-  watches_[static_cast<std::size_t>(lits[0].code())].push_back(
-      {tagged, lits[1]});
-  watches_[static_cast<std::size_t>(lits[1].code())].push_back(
-      {tagged, lits[0]});
+  FlatOccPool<Watcher>& pool = lits.size() == 2 ? bin_watches_ : watches_;
+  pool.push(static_cast<std::size_t>(lits[0].code()), {cref, lits[1]});
+  pool.push(static_cast<std::size_t>(lits[1].code()), {cref, lits[0]});
   return cref;
 }
 
@@ -117,11 +126,11 @@ void CdclSolver::attach_pb(const PbConstraint& constraint) {
   std::int64_t slack = -data.bound;
   for (const PbTerm& t : constraint.terms()) {
     pb_terms_.push_back(t);
-    pb_occs_[static_cast<std::size_t>(t.lit.code())].push_back(
-        {index, t.coeff});
+    pb_occs_.push(static_cast<std::size_t>(t.lit.code()), {index, t.coeff});
     // Literals already false at level 0 contribute nothing to slack.
     if (value(t.lit) != LBool::False) slack += t.coeff;
   }
+  pb_occs_dirty_ = true;
   data.slack = slack;
   // Terms arrive sorted by descending coefficient (PbConstraint invariant).
   data.max_coeff = data.terms_len > 0 ? constraint.terms()[0].coeff : 0;
@@ -131,17 +140,18 @@ void CdclSolver::attach_pb(const PbConstraint& constraint) {
 void CdclSolver::enqueue(Lit l, Reason reason) {
   assert(value(l) == LBool::Undef);
   const auto v = static_cast<std::size_t>(l.var());
+  const Lit falsified = ~l;
   assigns_[v] = lbool_of(!l.negated());
   lit_values_[static_cast<std::size_t>(l.code())] = LBool::True;
-  lit_values_[static_cast<std::size_t>((~l).code())] = LBool::False;
+  lit_values_[static_cast<std::size_t>(falsified.code())] = LBool::False;
   vardata_[v].reason = reason;
   vardata_[v].level = decision_level();
   vardata_[v].trail_pos = static_cast<int>(trail_.size());
   trail_.push_back(l);
   if (pbs_.empty()) return;
   // PB slack bookkeeping: literal ~l just became false.
-  const Lit falsified = ~l;
-  for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+  for (const PbOcc& occ :
+       pb_occs_.row(static_cast<std::size_t>(falsified.code()))) {
     pbs_[occ.pb_index].slack -= occ.coeff;
   }
 }
@@ -150,7 +160,8 @@ CdclSolver::Conflict CdclSolver::propagate_pb_for(Lit falsified) {
   // Slack was already decremented in enqueue(); here we detect conflicts
   // and propagate forced literals for every constraint containing the
   // falsified literal.
-  for (const PbOcc& occ : pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+  for (const PbOcc& occ :
+       pb_occs_.row(static_cast<std::size_t>(falsified.code()))) {
     PbData& pb = pbs_[occ.pb_index];
     if (pb.slack < 0) return {ReasonKind::PbRef, occ.pb_index};
     if (pb.slack >= pb.max_coeff) {
@@ -176,35 +187,40 @@ CdclSolver::Conflict CdclSolver::propagate() {
     const Lit falsified = ~p;
     const auto fcode = static_cast<std::uint32_t>(falsified.code());
 
-    // --- clause propagation via two watched literals ---
-    // ws never grows during the scan (new watches go to other literals'
-    // lists — the moved-to literal is non-false, the falsified one is
-    // false), so data/size can be hoisted past the push_back aliasing
-    // barrier the compiler cannot see through.
-    auto& ws = watches_[static_cast<std::size_t>(falsified.code())];
-    Watcher* const ws_data = ws.data();
-    const std::size_t ws_size = ws.size();
-    std::size_t keep = 0;
-    for (std::size_t read = 0; read < ws_size; ++read) {
+    // --- binary implications first ---
+    // The binary row is read-only during the scan (binary watches never
+    // move) and needs no tag test or keep-compaction: each entry is the
+    // other literal plus the clause ref for the implication reason.
+    const auto frow = static_cast<std::size_t>(falsified.code());
+    {
+      const Watcher* const bw_data = bin_watches_.data(frow);
+      const std::uint32_t bw_size = bin_watches_.size(frow);
+      for (std::uint32_t i = 0; i < bw_size; ++i) {
+        const Watcher w = bw_data[i];
+        const LBool bv = value(w.blocker);
+        if (bv == LBool::True) continue;
+        if (bv == LBool::False) {
+          qhead_ = static_cast<int>(trail_.size());
+          return {ReasonKind::ClauseRef, w.cref};
+        }
+        enqueue(w.blocker, {ReasonKind::ClauseRef, w.cref});
+      }
+    }
+
+    // --- long-clause propagation via two watched literals ---
+    // This literal's row never grows during the scan (new watches go to
+    // other literals' rows — the moved-to literal is non-false, the
+    // falsified one is false), so its offset/size are stable. The slab
+    // base pointer is NOT: a push into another row can reallocate the
+    // pool, so `ws_data` is re-read after every watch move (the only
+    // path that pushes).
+    Watcher* ws_data = watches_.data(frow);
+    const std::uint32_t ws_size = watches_.size(frow);
+    std::uint32_t keep = 0;
+    for (std::uint32_t read = 0; read < ws_size; ++read) {
       const Watcher w = ws_data[read];
       if (value(w.blocker) == LBool::True) {
         ws_data[keep++] = w;
-        continue;
-      }
-      if ((w.cref & kBinaryTag) != 0) {
-        // Binary clause: the blocker is the other literal, so it is unit
-        // or conflicting right now — no arena access needed.
-        const ClauseRef cref = w.cref & ~kBinaryTag;
-        ws_data[keep++] = w;
-        if (value(w.blocker) == LBool::False) {
-          for (std::size_t rest = read + 1; rest < ws_size; ++rest) {
-            ws_data[keep++] = ws_data[rest];
-          }
-          ws.resize(keep);
-          qhead_ = static_cast<int>(trail_.size());
-          return {ReasonKind::ClauseRef, cref};
-        }
-        enqueue(w.blocker, {ReasonKind::ClauseRef, cref});
         continue;
       }
       std::uint32_t* lits = arena_.lit_codes(w.cref);
@@ -222,8 +238,8 @@ CdclSolver::Conflict CdclSolver::propagate() {
         const Lit lk = Lit::from_code(static_cast<int>(lits[k]));
         if (value(lk) != LBool::False) {
           std::swap(lits[1], lits[k]);
-          watches_[static_cast<std::size_t>(lits[1])].push_back(
-              {w.cref, first});
+          watches_.push(static_cast<std::size_t>(lits[1]), {w.cref, first});
+          ws_data = watches_.data(frow);  // push may have moved the slab
           moved = true;
           break;
         }
@@ -233,16 +249,16 @@ CdclSolver::Conflict CdclSolver::propagate() {
       ws_data[keep++] = w;
       if (value(first) == LBool::False) {
         // Conflict: restore the remaining watchers and report.
-        for (std::size_t rest = read + 1; rest < ws_size; ++rest) {
+        for (std::uint32_t rest = read + 1; rest < ws_size; ++rest) {
           ws_data[keep++] = ws_data[rest];
         }
-        ws.resize(keep);
+        watches_.truncate(frow, keep);
         qhead_ = static_cast<int>(trail_.size());
         return {ReasonKind::ClauseRef, w.cref};
       }
       enqueue(first, {ReasonKind::ClauseRef, w.cref});
     }
-    ws.resize(keep);
+    watches_.truncate(frow, keep);
 
     // --- PB propagation ---
     if (!pbs_.empty()) {
@@ -256,69 +272,22 @@ CdclSolver::Conflict CdclSolver::propagate() {
   return {};
 }
 
-void CdclSolver::collect_reason(Reason reason, Lit implied,
-                                std::vector<Lit>* out) const {
-  out->clear();
-  if (reason.kind == ReasonKind::ClauseRef) {
-    const std::uint32_t* codes = arena_.lit_codes(reason.index);
-    const int size = arena_.size(reason.index);
-    for (int i = 0; i < size; ++i) {
-      const Lit l = Lit::from_code(static_cast<int>(codes[i]));
-      if (l != implied) out->push_back(l);
-    }
-    return;
-  }
-  assert(reason.kind == ReasonKind::PbRef);
-  const PbData& pb = pbs_[reason.index];
-  // Clausal weakening of the PB implication: the false literals of the
-  // constraint entail `implied` (or a conflict when implied is undef).
-  // For a reason (not a conflict) only literals falsified strictly before
-  // the implied literal may participate, or analyze() would deadlock.
-  const int implied_pos =
-      implied.valid()
-          ? vardata_[static_cast<std::size_t>(implied.var())].trail_pos
-          : static_cast<int>(trail_.size());
-  for (const PbTerm& t : pb_terms(pb)) {
-    if (t.lit == implied) continue;
-    if (value(t.lit) != LBool::False) continue;
-    if (vardata_[static_cast<std::size_t>(t.lit.var())].trail_pos >=
-        implied_pos) {
-      continue;
-    }
-    out->push_back(t.lit);
-  }
-}
-
 void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
-                         int* backjump) {
+                         int* backjump, int* lbd) {
   learnt->clear();
   learnt->push_back(kUndefLit);  // slot for the asserting (1UIP) literal
 
-  std::vector<Lit>& reason_lits = analyze_stack_;
-  reason_lits.clear();
-  if (conflict.kind == ReasonKind::ClauseRef) {
-    bump_clause(conflict.index);
-    const std::uint32_t* codes = arena_.lit_codes(conflict.index);
-    const int size = arena_.size(conflict.index);
-    reason_lits.reserve(static_cast<std::size_t>(size));
-    for (int i = 0; i < size; ++i) {
-      reason_lits.push_back(Lit::from_code(static_cast<int>(codes[i])));
-    }
-  } else {
-    collect_reason({conflict.kind, conflict.index}, kUndefLit, &reason_lits);
-  }
-
   // Marks stay set for the whole analysis (a current-level variable can
   // appear in several reasons and must only be counted once); they are
-  // cleared in one sweep at the end.
-  std::vector<Var> to_clear;
+  // cleared in one sweep at the end. The seen_ marks also make it safe to
+  // revisit the implied literal a clause reason may yield: its variable
+  // is always already marked.
+  std::vector<Var>& to_clear = analyze_toclear_;
+  to_clear.clear();
   int counter = 0;
-  Lit p = kUndefLit;
-  int index = static_cast<int>(trail_.size()) - 1;
-  for (;;) {
-    for (const Lit q : reason_lits) {
-      const auto v = static_cast<std::size_t>(q.var());
-      if (seen_[v] || level(q.var()) == 0) continue;
+  const auto absorb = [&](Lit q) {
+    const auto v = static_cast<std::size_t>(q.var());
+    if (!seen_[v] && level(q.var()) > 0) {
       seen_[v] = 1;
       to_clear.push_back(q.var());
       bump_var(q.var());
@@ -328,6 +297,18 @@ void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
         learnt->push_back(q);
       }
     }
+    return true;
+  };
+
+  if (conflict.kind == ReasonKind::ClauseRef) {
+    bump_clause(conflict.index);
+    touch_learnt(conflict.index);
+  }
+  for_each_reason_lit({conflict.kind, conflict.index}, kUndefLit, absorb);
+
+  Lit p = kUndefLit;
+  int index = static_cast<int>(trail_.size()) - 1;
+  for (;;) {
     // Walk back to the next marked trail literal.
     while (!seen_[static_cast<std::size_t>(
         trail_[static_cast<std::size_t>(index)].var())]) {
@@ -341,45 +322,106 @@ void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
     assert(r.kind != ReasonKind::None);
     if (r.kind == ReasonKind::ClauseRef) {
       bump_clause(r.index);
+      touch_learnt(r.index);
     }
-    collect_reason(r, p, &reason_lits);
+    for_each_reason_lit(r, p, absorb);
   }
   (*learnt)[0] = ~p;
 
   stats_.learned_literals += static_cast<std::int64_t>(learnt->size());
   if (config_.minimize_learned) minimize_learnt(learnt);
 
-  // Compute the backjump level: second-highest level in the clause.
+  // One scan computes both the backjump level (second-highest level in
+  // the clause) and the LBD: every non-asserting literal's level is
+  // loaded here anyway, so counting distinct levels is free. The
+  // asserting literal sits alone at the conflict level, which no other
+  // literal shares, hence the count starts at 1.
   if (learnt->size() == 1) {
     *backjump = 0;
+    *lbd = 1;
   } else {
+    ++lbd_stamp_;
+    int glue = 1;
     std::size_t max_i = 1;
-    for (std::size_t i = 2; i < learnt->size(); ++i) {
-      if (level((*learnt)[i].var()) > level((*learnt)[max_i].var())) max_i = i;
+    int max_level = level((*learnt)[1].var());
+    for (std::size_t i = 1; i < learnt->size(); ++i) {
+      const int lvl = level((*learnt)[i].var());
+      if (lvl > max_level) {
+        max_level = lvl;
+        max_i = i;
+      }
+      auto& stamp = lbd_level_stamp_[static_cast<std::size_t>(lvl)];
+      if (stamp != lbd_stamp_) {
+        stamp = lbd_stamp_;
+        ++glue;
+      }
     }
     std::swap((*learnt)[1], (*learnt)[max_i]);
-    *backjump = level((*learnt)[1].var());
+    *backjump = max_level;
+    *lbd = glue;
   }
 
   for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = 0;
 }
 
+bool CdclSolver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
+  redundant_stack_.clear();
+  redundant_stack_.push_back(p);
+  // Marks added during this walk are undone on failure but kept on
+  // success: a variable proven reachable-from-redundant stays absorbing
+  // for the remaining candidates (memoization across the clause).
+  const std::size_t undo_from = analyze_toclear_.size();
+  while (!redundant_stack_.empty()) {
+    const Lit x = redundant_stack_.back();
+    redundant_stack_.pop_back();
+    const Reason r = vardata_[static_cast<std::size_t>(x.var())].reason;
+    const bool ok = for_each_reason_lit(r, ~x, [&](Lit q) {
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen_[v] || level(q.var()) == 0) return true;  // already absorbed
+      if (vardata_[v].reason.kind == ReasonKind::None ||
+          (abstract_level(q.var()) & abstract_levels) == 0) {
+        return false;  // decision, or a level the clause cannot absorb
+      }
+      seen_[v] = 1;
+      analyze_toclear_.push_back(q.var());
+      redundant_stack_.push_back(q);
+      return true;
+    });
+    if (!ok) {
+      for (std::size_t j = undo_from; j < analyze_toclear_.size(); ++j) {
+        seen_[static_cast<std::size_t>(analyze_toclear_[j])] = 0;
+      }
+      analyze_toclear_.resize(undo_from);
+      return false;
+    }
+  }
+  return true;
+}
+
 void CdclSolver::minimize_learnt(std::vector<Lit>* learnt) {
   // Re-mark so redundancy checks can consult membership.
   for (const Lit l : *learnt) seen_[static_cast<std::size_t>(l.var())] = 1;
+  std::uint32_t abstract_levels = 0;
+  if (config_.minimize_recursive) {
+    for (std::size_t i = 1; i < learnt->size(); ++i) {
+      abstract_levels |= abstract_level((*learnt)[i].var());
+    }
+  }
   std::size_t keep = 1;
-  std::vector<Lit> reason_lits;
   for (std::size_t i = 1; i < learnt->size(); ++i) {
     const Lit l = (*learnt)[i];
     const Reason r = vardata_[static_cast<std::size_t>(l.var())].reason;
     bool redundant = r.kind != ReasonKind::None;
     if (redundant) {
-      collect_reason(r, ~l, &reason_lits);
-      for (const Lit q : reason_lits) {
-        if (!seen_[static_cast<std::size_t>(q.var())] && level(q.var()) > 0) {
-          redundant = false;
-          break;
-        }
+      if (config_.minimize_recursive) {
+        redundant = lit_redundant(l, abstract_levels);
+      } else {
+        // Redundant iff every reason literal is already in the clause or
+        // at level 0; the visitor aborts at the first counterexample.
+        redundant = for_each_reason_lit(r, ~l, [&](Lit q) {
+          return seen_[static_cast<std::size_t>(q.var())] != 0 ||
+                 level(q.var()) == 0;
+        });
       }
     }
     if (redundant) {
@@ -403,7 +445,7 @@ void CdclSolver::backtrack(int target_level) {
       // Restore PB slack for the literal that stops being false.
       const Lit falsified = ~p;
       for (const PbOcc& occ :
-           pb_occs_[static_cast<std::size_t>(falsified.code())]) {
+           pb_occs_.row(static_cast<std::size_t>(falsified.code()))) {
         pbs_[occ.pb_index].slack += occ.coeff;
       }
     }
@@ -473,6 +515,57 @@ void CdclSolver::decay_activities() {
   clause_inc_ /= config_.clause_decay;
 }
 
+int CdclSolver::compute_clause_lbd(ClauseRef cref) {
+  ++lbd_stamp_;
+  int lbd = 0;
+  const std::uint32_t* codes = arena_.lit_codes(cref);
+  const int size = arena_.size(cref);
+  for (int i = 0; i < size; ++i) {
+    const int lvl = level(Lit::from_code(static_cast<int>(codes[i])).var());
+    if (lvl <= 0) continue;
+    auto& stamp = lbd_level_stamp_[static_cast<std::size_t>(lvl)];
+    if (stamp != lbd_stamp_) {
+      stamp = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void CdclSolver::touch_learnt(ClauseRef cref) {
+  if (!arena_.learnt(cref)) return;
+  // The used flag doubles as a recompute throttle: LBD is re-measured at
+  // most once per clause per reduce cycle (first touch), which keeps the
+  // O(|clause|) scan off the steady-state analysis path.
+  if (arena_.used(cref)) return;
+  arena_.set_used(cref);
+  const int stored = arena_.lbd(cref);
+  // Core clauses cannot improve in tier; skip the recomputation. All
+  // literals of a conflict/reason clause are assigned here, so levels are
+  // fresh (touch_learnt is only called from analyze()).
+  if (stored <= config_.tier_core_lbd) return;
+  const int fresh = compute_clause_lbd(cref);
+  if (fresh < stored) {
+    arena_.set_lbd(cref, fresh);
+    ++stats_.tier_promotions;
+  }
+}
+
+void CdclSolver::update_restart_emas(int lbd) {
+  const auto x = static_cast<double>(lbd);
+  if (!lbd_ema_seeded_) {
+    // Seed both averages with the first observation instead of pulling
+    // them up from zero (which would block restarts for thousands of
+    // conflicts while the slow EMA warms).
+    lbd_ema_fast_ = x;
+    lbd_ema_slow_ = x;
+    lbd_ema_seeded_ = true;
+    return;
+  }
+  lbd_ema_fast_ += config_.restart_ema_fast * (x - lbd_ema_fast_);
+  lbd_ema_slow_ += config_.restart_ema_slow * (x - lbd_ema_slow_);
+}
+
 bool CdclSolver::clause_locked(ClauseRef cref) const {
   const Lit first = arena_.lit(cref, 0);
   const VarData& vd = vardata_[static_cast<std::size_t>(first.var())];
@@ -481,18 +574,49 @@ bool CdclSolver::clause_locked(ClauseRef cref) const {
 }
 
 void CdclSolver::reduce_db() {
-  // Collect deletable learnt clauses, drop the less active half.
+  // LBD-tiered retention (Glucose lineage):
+  //   core  — glue clauses (lbd <= tier_core_lbd) and binaries: immortal;
+  //   mid   — lbd <= tier_mid_lbd, kept while used since the previous
+  //           reduction, demoted to the local pool otherwise;
+  //   local — everything else, sorted by activity, less active half dropped
+  //           (locked clauses are retained regardless).
   std::vector<ClauseRef> candidates;
+  std::int64_t core = 0;
+  std::int64_t mid = 0;
+  std::int64_t local_locked = 0;
   for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
-    if (arena_.learnt(cr) && arena_.size(cr) > 2 && !clause_locked(cr)) {
-      candidates.push_back(cr);
+    if (!arena_.learnt(cr)) continue;
+    const Tier tier = clause_tier(cr);
+    if (tier == Tier::Core) {
+      ++core;
+      continue;
     }
+    if (tier == Tier::Mid) {
+      if (arena_.used(cr) || clause_locked(cr)) {
+        arena_.clear_used(cr);  // must earn its keep again by next cycle
+        ++mid;
+        continue;
+      }
+      ++stats_.tier_demotions;
+    } else if (clause_locked(cr)) {
+      // Locked local clauses survive but still reset their touch throttle,
+      // or their LBD would never be recomputed again.
+      arena_.clear_used(cr);
+      ++local_locked;
+      continue;
+    }
+    arena_.clear_used(cr);
+    candidates.push_back(cr);
   }
   std::sort(candidates.begin(), candidates.end(),
             [&](ClauseRef a, ClauseRef b) {
               return arena_.activity(a) < arena_.activity(b);
             });
   const std::size_t drop = candidates.size() / 2;
+  stats_.tier_core = core;
+  stats_.tier_mid = mid;
+  stats_.tier_local = local_locked +
+                      static_cast<std::int64_t>(candidates.size() - drop);
   if (drop == 0) return;  // nothing to compact; skip the arena copy
   for (std::size_t i = 0; i < drop; ++i) {
     arena_.set_deleted(candidates[i]);
@@ -512,16 +636,16 @@ void CdclSolver::garbage_collect() {
   for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
     if (!arena_.deleted(cr)) arena_.relocate(cr, &to);
   }
-  for (auto& ws : watches_) {
-    std::size_t keep = 0;
-    for (const Watcher& w : ws) {
-      const ClauseRef raw = w.cref & ~kBinaryTag;
-      if (!arena_.deleted(raw)) {
-        ws[keep++] = {arena_.forward(raw) | (w.cref & kBinaryTag), w.blocker};
-      }
-    }
-    ws.resize(keep);
-  }
+  // Remap surviving watchers through the forwarding refs while rebuilding
+  // each pool: one pass both drops dead entries and restores the
+  // garbage-free CSR layout (rows in literal order, zero slack).
+  const auto remap = [&](std::size_t, Watcher& w) {
+    if (arena_.deleted(w.cref)) return false;
+    w.cref = arena_.forward(w.cref);
+    return true;
+  };
+  watches_.rebuild(remap);
+  bin_watches_.rebuild(remap);
   for (const Lit l : trail_) {
     Reason& reason = vardata_[static_cast<std::size_t>(l.var())].reason;
     if (reason.kind == ReasonKind::ClauseRef) {
@@ -532,15 +656,31 @@ void CdclSolver::garbage_collect() {
   ++stats_.arena_collections;
 }
 
-std::size_t CdclSolver::total_watchers() const {
-  std::size_t total = 0;
-  for (const auto& ws : watches_) total += ws.size();
-  return total;
+TierCounts CdclSolver::learned_tier_counts() const {
+  TierCounts tc;
+  for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
+    if (!arena_.learnt(cr) || arena_.deleted(cr)) continue;
+    switch (clause_tier(cr)) {
+      case Tier::Core: ++tc.core; break;
+      case Tier::Mid: ++tc.mid; break;
+      case Tier::Local: ++tc.local; break;
+    }
+  }
+  return tc;
 }
 
 SolveResult CdclSolver::solve(const Deadline& deadline,
                               std::span<const Lit> assumptions) {
   if (!ok_) return SolveResult::Unsat;
+  // Rebuild hooks for the flat pools: incremental add_clause/add_pb since
+  // the last solve appended through the growth path; re-compact to CSR
+  // order so the search starts from a garbage-free layout.
+  if (pb_occs_dirty_) {
+    pb_occs_.compact();
+    pb_occs_dirty_ = false;
+  }
+  if (watches_.sparse()) watches_.compact();
+  if (bin_watches_.sparse()) bin_watches_.compact();
   backtrack(0);
   if (propagate().valid()) {
     ok_ = false;
@@ -549,15 +689,27 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
   for (const Lit a : assumptions) {
     if (!a.valid() || a.var() >= num_vars()) return SolveResult::Unsat;
   }
+  // Already-satisfied assumptions open dummy decision levels that assign
+  // no variable, so the deepest level can exceed num_vars() by up to
+  // |assumptions|; the LBD stamp array must cover that range.
+  const std::size_t max_levels =
+      static_cast<std::size_t>(num_vars()) + assumptions.size() + 1;
+  if (lbd_level_stamp_.size() < max_levels) {
+    lbd_level_stamp_.resize(max_levels, 0);
+  }
 
+  const bool adaptive = config_.restart_scheme == RestartScheme::Adaptive;
   std::int64_t restart_number = 0;
   std::vector<Lit> learnt;
   const std::int64_t conflict_budget = config_.conflict_budget;
   const std::int64_t start_conflicts = stats_.conflicts;
 
   for (;;) {
+    // Scheduled restart interval; the adaptive scheme restarts on the
+    // LBD-EMA condition instead and ignores the schedule.
     const std::int64_t interval =
-        config_.restart_scheme == RestartScheme::Luby
+        adaptive ? 0
+        : config_.restart_scheme == RestartScheme::Luby
             ? luby(restart_number + 1) * config_.restart_base
             : static_cast<std::int64_t>(
                   static_cast<double>(config_.restart_base) *
@@ -587,12 +739,16 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
           return SolveResult::Unsat;
         }
         int backjump = 0;
-        analyze(conflict, &learnt, &backjump);
+        int lbd = 1;
+        analyze(conflict, &learnt, &backjump, &lbd);
+        stats_.lbd_sum += lbd;
+        update_restart_emas(lbd);
         backtrack(backjump);
         if (learnt.size() == 1) {
           enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
         } else {
           const ClauseRef cref = attach_clause(learnt, /*learnt=*/true);
+          arena_.set_lbd(cref, lbd);
           bump_clause(cref);
           enqueue(learnt[0], {ReasonKind::ClauseRef, cref});
           ++learnt_count_;
@@ -603,7 +759,21 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
       }
 
       // No conflict: restart, reduce, or decide.
-      if (conflicts_this_restart >= interval) {
+      bool restart_now;
+      if (adaptive) {
+        restart_now = conflicts_this_restart >= config_.adaptive_min_conflicts &&
+                      lbd_ema_seeded_ &&
+                      lbd_ema_fast_ > config_.restart_margin * lbd_ema_slow_;
+        if (restart_now) {
+          ++stats_.adaptive_restarts;
+          // Re-arm: pull the fast average back to the long-run mean so the
+          // next interval measures fresh post-restart quality.
+          lbd_ema_fast_ = lbd_ema_slow_;
+        }
+      } else {
+        restart_now = conflicts_this_restart >= interval;
+      }
+      if (restart_now) {
         backtrack(0);
         break;  // restart
       }

@@ -10,7 +10,8 @@
 //     to clausal reasons on demand, the classic PBS scheme,
 //   * optional learned-clause minimization (self-subsumption),
 //   * VSIDS variable activity with phase saving,
-//   * Luby or geometric restarts and activity-driven clause deletion.
+//   * Luby, geometric, or Glucose-style adaptive (LBD-EMA) restarts,
+//   * LBD-tiered learned-clause retention with activity tie-breaking.
 //
 // The configuration knobs expose exactly the axes along which the paper's
 // three academic solvers differ; see pb/solver_profiles.h.
@@ -18,8 +19,21 @@
 // Constraint storage (the propagation hot path):
 //   * Clauses live in a single contiguous ClauseArena (sat/clause_arena.h)
 //     as [header | activity | lits...] records addressed by 32-bit
-//     ClauseRefs. Watchers carry {ClauseRef, blocker literal}; a watcher
-//     visit whose blocker is already true never touches the arena at all.
+//     ClauseRefs; LBD and the used flag ride in spare header bits so the
+//     record stays at the minimal 2 + size words. Watchers carry
+//     {ClauseRef, blocker literal}; a watcher visit whose blocker is
+//     already true never touches the arena at all.
+//   * Watch lists live in flat watcher pools (sat/watcher_pool.h):
+//     per-literal {offset, size, capacity} headers into a single
+//     contiguous Watcher slab with amortized-doubling growth. The pools
+//     are compacted back to garbage-free CSR order during reduce_db() GC
+//     (and before a solve when they have grown sparse), so propagation
+//     scans ride one allocation instead of 2N heap vectors.
+//   * Binary clauses watch through a dedicated pool scanned before the
+//     long-clause rows: each entry is the implied literal plus the clause
+//     ref, so the scan needs no tag test, no arena access, and no
+//     keep-compaction write-back — on the paper's coloring encodings
+//     (overwhelmingly binary) most propagation never leaves this loop.
 //   * reduce_db() performs MiniSat-style garbage collection: live clauses
 //     are compacted into a fresh arena in layout order and every stored
 //     ref (watch lists, trail reasons) is remapped through the forwarding
@@ -31,6 +45,39 @@
 //     any constraint whose cached slack is at least its max coefficient:
 //     such a constraint can neither be conflicting nor force a literal, so
 //     its term list is never scanned.
+//   * PB occurrence lists use the same flat pool layout (pb_occs_); add_pb
+//     between solves appends through the pool's growth path and a rebuild
+//     hook re-compacts the rows to CSR order at the next solve() entry.
+//
+// Learned-clause management (Glucose lineage):
+//   * Every learnt clause gets an LBD (literal block distance — the number
+//     of distinct decision levels among its literals) measured during the
+//     backjump-level scan of analyze() (no extra pass) and stored in the
+//     arena header. When a learnt clause reappears in conflict analysis
+//     its LBD is recomputed — at most once per reduction cycle, throttled
+//     by the used flag — and kept if smaller, so glue estimates only
+//     improve.
+//   * reduce_db() splits the learned DB into three tiers by current LBD:
+//       core  (lbd <= tier_core_lbd, default 2): kept unconditionally —
+//             glue clauses connect decision levels and are never deleted;
+//       mid   (lbd <= tier_mid_lbd, default 6): kept while "used" — i.e.
+//             touched by conflict analysis since the previous reduction —
+//             otherwise demoted to the local pool for this round;
+//       local (everything else): sorted by activity, the less active half
+//             is deleted, exactly as plain MiniSat would.
+//     Clauses move between tiers only through LBD improvement (promotion)
+//     or the used-flag timeout (demotion); stats() reports per-tier counts
+//     from the most recent reduction. Because the tiers protect exactly
+//     the clauses worth keeping, the default reduction cadence is far more
+//     aggressive than MiniSat's (first reduction at max(800, m/8) learnts)
+//     — a small local pool is what keeps the watch lists short and the
+//     propagation loop in cache.
+//   * Restarts: Luby and geometric schedules as before, plus
+//     RestartScheme::Adaptive — restart when the fast EMA of recent
+//     learnt-clause LBDs exceeds restart_margin times the slow EMA,
+//     signalling that search has wandered into a region producing worse
+//     (higher-glue) clauses than its long-run average. stats() reports how
+//     many restarts the EMA condition triggered.
 
 #include <cstdint>
 #include <span>
@@ -40,6 +87,7 @@
 #include "cnf/literals.h"
 #include "sat/clause_arena.h"
 #include "sat/heap.h"
+#include "sat/watcher_pool.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -47,7 +95,7 @@ namespace symcolor {
 
 enum class SolveResult { Sat, Unsat, Unknown };
 
-enum class RestartScheme { Luby, Geometric };
+enum class RestartScheme { Luby, Geometric, Adaptive };
 
 struct SolverConfig {
   double var_decay = 0.95;
@@ -63,15 +111,43 @@ struct SolverConfig {
   /// indicators where most variables are 0 in a solution).
   bool default_phase = false;
   bool minimize_learned = true;
+  /// Deep (recursive) minimization: walk the whole implication graph under
+  /// each candidate literal instead of only its direct reason. Removes
+  /// far more literals on structured instances — shorter learnt clauses
+  /// make every later watch scan, analysis, and LBD pass cheaper. Off by
+  /// default: on the paper's coloring encodings learnt clauses span many
+  /// decision levels, so the deep walk rarely absorbs enough to pay for
+  /// itself (measured on the queen benchmarks). Only consulted when
+  /// minimize_learned is set.
+  bool minimize_recursive = false;
   /// Fraction of decisions taken uniformly at random (diversification).
   double random_branch_freq = 0.0;
   std::uint64_t random_seed = 0x5EED;
   /// Hard conflict budget; <= 0 means unlimited.
   std::int64_t conflict_budget = 0;
   /// Initial learned-clause limit before the first reduce_db(); <= 0 means
-  /// the automatic max(2000, num_clauses / 3). Tests use a tiny value to
-  /// force frequent reductions/collections.
+  /// the automatic max(800, num_clauses / 8) — deliberately aggressive,
+  /// see the tier discussion in the header comment. Tests use a tiny
+  /// value to force frequent reductions/collections.
   double max_learnts_init = 0.0;
+
+  // ---- LBD tiers (reduce_db retention) ----
+  /// Learnt clauses with LBD <= tier_core_lbd are never deleted.
+  int tier_core_lbd = 2;
+  /// Learnt clauses with LBD <= tier_mid_lbd survive a reduction while
+  /// they have been used in conflict analysis since the previous one.
+  int tier_mid_lbd = 6;
+
+  // ---- adaptive (Glucose-style) restarts ----
+  /// Smoothing factor of the fast LBD EMA (recent search quality).
+  double restart_ema_fast = 1.0 / 32.0;
+  /// Smoothing factor of the slow LBD EMA (long-run search quality).
+  double restart_ema_slow = 1.0 / 4096.0;
+  /// Restart when fast_ema > restart_margin * slow_ema.
+  double restart_margin = 1.25;
+  /// Minimum conflicts between adaptive restarts (lets the fast EMA
+  /// re-stabilize after the post-restart reset).
+  std::int64_t adaptive_min_conflicts = 50;
 };
 
 struct SolverStats {
@@ -87,6 +163,31 @@ struct SolverStats {
   std::int64_t arena_collections = 0;
   /// PB constraints skipped because slack >= max coefficient.
   std::int64_t pb_short_circuits = 0;
+
+  // ---- LBD / tier activity ----
+  /// Sum of LBD values at learn time (lbd_sum / learned_clauses = mean glue).
+  std::int64_t lbd_sum = 0;
+  /// LBD improvements observed when re-touching learnt clauses in analysis.
+  std::int64_t tier_promotions = 0;
+  /// Mid-tier clauses demoted to the local pool for going unused between
+  /// consecutive reductions.
+  std::int64_t tier_demotions = 0;
+  /// Per-tier learnt-clause counts recorded by the most recent reduce_db().
+  std::int64_t tier_core = 0;
+  std::int64_t tier_mid = 0;
+  std::int64_t tier_local = 0;
+
+  // ---- restart-mode activity ----
+  /// Restarts triggered by the adaptive LBD-EMA condition (a subset of
+  /// `restarts`; the remainder followed the Luby/geometric schedule).
+  std::int64_t adaptive_restarts = 0;
+};
+
+/// Learnt-clause census by retention tier (see SolverConfig thresholds).
+struct TierCounts {
+  std::int64_t core = 0;
+  std::int64_t mid = 0;
+  std::int64_t local = 0;
 };
 
 /// One solver instance owns a private copy of the formula's constraints.
@@ -122,9 +223,24 @@ class CdclSolver {
   }
 
   // ---- storage introspection (tests / benchmarks) ----
-  /// Total watcher entries across all literals. After a collection this is
-  /// exactly 2 * live_clauses(): no tombstone watchers survive.
-  [[nodiscard]] std::size_t total_watchers() const;
+  /// Total watcher entries across all literals (binary + long pools).
+  /// After a collection this is exactly 2 * live_clauses(): no tombstone
+  /// watchers survive.
+  [[nodiscard]] std::size_t total_watchers() const noexcept {
+    return watches_.live_entries() + bin_watches_.live_entries();
+  }
+  /// Slab cells owned by the watcher pools, including relocation garbage.
+  /// Equals total_watchers() right after a compaction.
+  [[nodiscard]] std::size_t watcher_pool_slots() const noexcept {
+    return watches_.slab_slots() + bin_watches_.slab_slots();
+  }
+  /// Same occupancy pair for the PB occurrence pool.
+  [[nodiscard]] std::size_t total_pb_occs() const noexcept {
+    return pb_occs_.live_entries();
+  }
+  [[nodiscard]] std::size_t pb_occ_pool_slots() const noexcept {
+    return pb_occs_.slab_slots();
+  }
   /// Clauses currently attached (problem + learned, excluding units).
   [[nodiscard]] std::int64_t live_clauses() const noexcept {
     return arena_.live_clauses();
@@ -133,15 +249,20 @@ class CdclSolver {
   [[nodiscard]] std::size_t arena_words() const noexcept {
     return arena_.words();
   }
+  /// Census of the live learnt DB by retention tier (arena scan; see the
+  /// tier thresholds in SolverConfig). Unlike stats().tier_*, which
+  /// snapshots the last reduce_db(), this reflects the current instant.
+  [[nodiscard]] TierCounts learned_tier_counts() const;
 
  private:
   // ---- constraint storage ----
-  /// Watchers tag binary clauses in the ref's top bit: for those the
-  /// blocker IS the other literal, so propagation resolves the clause
-  /// (satisfied / unit / conflicting) without ever touching the arena.
-  static constexpr ClauseRef kBinaryTag = 0x80000000u;
+  /// Long-clause watcher. Binary clauses never appear here: they live in
+  /// the dedicated bin_watches_ pool, where the blocker IS the other
+  /// literal and propagation resolves the clause (satisfied / unit /
+  /// conflicting) without ever touching the arena, without a tag test,
+  /// and without the keep-compaction write-back of the long-row scan.
   struct Watcher {
-    ClauseRef cref = kInvalidClauseRef;  // kBinaryTag | ref for binaries
+    ClauseRef cref = kInvalidClauseRef;
     Lit blocker;
   };
   /// One PB row: a view into the shared term pool plus cached slack.
@@ -194,9 +315,56 @@ class CdclSolver {
   void enqueue(Lit l, Reason reason);
   Conflict propagate();
   Conflict propagate_pb_for(Lit falsified);
-  void analyze(Conflict conflict, std::vector<Lit>* learnt, int* backjump);
+
+  /// Visit every literal of `implied`'s reason except `implied` itself,
+  /// without materializing a vector (this runs millions of times per
+  /// solve — analyze and minimize are reason-iteration bound). `visit`
+  /// returns false to abort; the call then returns false. For PB reasons
+  /// the clausal weakening only admits literals falsified strictly before
+  /// `implied` — anything later would let analyze() chase implications
+  /// forward and deadlock — or all false literals for a conflict
+  /// (implied == undef), mirroring the classic PBS scheme.
+  template <typename Visit>
+  bool for_each_reason_lit(Reason reason, Lit implied, Visit&& visit) const {
+    if (reason.kind == ReasonKind::ClauseRef) {
+      const std::uint32_t* codes = arena_.lit_codes(reason.index);
+      const int size = arena_.size(reason.index);
+      for (int i = 0; i < size; ++i) {
+        const Lit l = Lit::from_code(static_cast<int>(codes[i]));
+        if (l != implied && !visit(l)) return false;
+      }
+      return true;
+    }
+    const PbData& pb = pbs_[reason.index];
+    const int implied_pos =
+        implied.valid()
+            ? vardata_[static_cast<std::size_t>(implied.var())].trail_pos
+            : static_cast<int>(trail_.size());
+    for (const PbTerm& t : pb_terms(pb)) {
+      if (t.lit == implied) continue;
+      if (value(t.lit) != LBool::False) continue;
+      if (vardata_[static_cast<std::size_t>(t.lit.var())].trail_pos >=
+          implied_pos) {
+        continue;
+      }
+      if (!visit(t.lit)) return false;
+    }
+    return true;
+  }
+  /// First-UIP learning. Also reports the learnt clause's LBD, folded into
+  /// the backjump-level scan so the glue costs no extra pass.
+  void analyze(Conflict conflict, std::vector<Lit>* learnt, int* backjump,
+               int* lbd);
   void minimize_learnt(std::vector<Lit>* learnt);
-  void collect_reason(Reason reason, Lit implied, std::vector<Lit>* out) const;
+  /// Recursive redundancy test (MiniSat ccmin=2): true iff every path
+  /// from `p`'s reason back to decisions ends in clause literals or
+  /// level 0. `abstract_levels` is the bitmask of levels present in the
+  /// learnt clause — any reason touching a level outside it cannot be
+  /// absorbed, which prunes most failing walks in O(1).
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels);
+  [[nodiscard]] std::uint32_t abstract_level(Var v) const noexcept {
+    return 1u << (static_cast<std::uint32_t>(level(v)) & 31u);
+  }
   void backtrack(int target_level);
   Lit pick_branch();
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
@@ -206,9 +374,30 @@ class CdclSolver {
   void bump_var(Var v);
   void bump_clause(ClauseRef cref);
   void decay_activities();
+  /// Retention tier of a learnt clause under the configured thresholds.
+  /// Binary clauses are core regardless of glue: they are two words of
+  /// storage propagated without arena access, never worth deleting.
+  enum class Tier : std::uint8_t { Core, Mid, Local };
+  [[nodiscard]] Tier clause_tier(ClauseRef cref) const {
+    if (arena_.size(cref) <= 2 || arena_.lbd(cref) <= config_.tier_core_lbd) {
+      return Tier::Core;
+    }
+    return arena_.lbd(cref) <= config_.tier_mid_lbd ? Tier::Mid : Tier::Local;
+  }
   void reduce_db();
   void garbage_collect();
   [[nodiscard]] bool clause_locked(ClauseRef cref) const;
+
+  /// Number of distinct nonzero decision levels among the clause's
+  /// literals (the glue measure). Uses a stamped scratch array,
+  /// O(|clause|). All literals must be assigned (levels of unassigned
+  /// variables are stale), which holds for conflict/reason clauses.
+  [[nodiscard]] int compute_clause_lbd(ClauseRef cref);
+  /// Mark a learnt clause used by conflict analysis and improve its
+  /// stored LBD if the recomputed value is smaller (tier promotion).
+  void touch_learnt(ClauseRef cref);
+  /// Fold one learnt-clause LBD into the fast/slow restart EMAs.
+  void update_restart_emas(int lbd);
 
   // ---- state ----
   SolverConfig config_;
@@ -216,10 +405,14 @@ class CdclSolver {
   Rng rng_;
 
   ClauseArena arena_;
-  std::vector<std::vector<Watcher>> watches_;   // by literal code
+  FlatOccPool<Watcher> watches_;                // long clauses, by lit code
+  FlatOccPool<Watcher> bin_watches_;            // binary clauses, by lit code
   std::vector<PbData> pbs_;
   std::vector<PbTerm> pb_terms_;                // shared flat term pool
-  std::vector<std::vector<PbOcc>> pb_occs_;     // by literal code
+  FlatOccPool<PbOcc> pb_occs_;                  // rows by literal code
+  /// Set by attach_pb(); solve() re-compacts the occurrence pool to CSR
+  /// order before searching (the incremental add_pb rebuild hook).
+  bool pb_occs_dirty_ = false;
 
   std::vector<LBool> assigns_;      // by variable (model extraction)
   std::vector<LBool> lit_values_;   // by literal code (hot-path lookups)
@@ -240,7 +433,15 @@ class CdclSolver {
   std::vector<char> polarity_;  // saved phase, 1 = last value true
 
   std::vector<char> seen_;      // scratch for analyze()
-  std::vector<Lit> analyze_stack_;
+  std::vector<Var> analyze_toclear_;            // marks to reset post-analyze
+  std::vector<Lit> redundant_stack_;            // DFS stack, lit_redundant
+  std::vector<std::uint64_t> lbd_level_stamp_;  // by level, for LBD scans
+  std::uint64_t lbd_stamp_ = 0;
+
+  // Adaptive-restart state: exponential moving averages of learnt LBD.
+  double lbd_ema_fast_ = 0.0;
+  double lbd_ema_slow_ = 0.0;
+  bool lbd_ema_seeded_ = false;
 
   std::vector<LBool> model_;
   bool ok_ = true;  // false once level-0 conflict derived

@@ -9,10 +9,23 @@
 // predictable cache line.
 //
 // Header word layout (low to high bits):
-//   bit 0      learnt flag
-//   bit 1      deleted flag (set between mark and sweep of a collection)
-//   bit 2      relocated flag (set while a collection is in flight)
-//   bits 3..31 literal count
+//   bit 0       learnt flag
+//   bit 1       deleted flag (set between mark and sweep of a collection)
+//   bit 2       relocated flag (set while a collection is in flight)
+//   bits 3..26  literal count (clauses are capped at ~16.7M literals)
+//   bit 27      "used" flag — set when a learnt clause participates in
+//               conflict analysis, cleared by each reduce_db() sweep;
+//               mid-tier clauses survive a reduction only while set
+//   bits 28..31 LBD (literal block distance — the glue level measured
+//               when the clause was learnt, improved monotonically when
+//               the clause is touched in conflict analysis). Saturates
+//               at 15, which is lossless for retention decisions: the
+//               tier thresholds sit far below the cap and anything above
+//               them is local-tier regardless of magnitude.
+// Packing the search-management metadata into the header keeps clause
+// records at the minimal 2 + size words, which matters: propagation
+// throughput is memory-bound on large instances and an extra header word
+// costs measurable cache traffic. Problem clauses leave used/LBD at 0.
 //
 // The second word holds the clause activity as raw float bits; during
 // garbage collection it is repurposed as the forwarding reference of a
@@ -38,6 +51,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "cnf/literals.h"
@@ -54,8 +68,15 @@ class ClauseArena {
   /// next collection.
   ClauseRef alloc(std::span<const Lit> lits, bool learnt) {
     assert(lits.size() >= 2);
-    // Refs above 2^31 would collide with the solver's binary-watcher tag
-    // (and 0xFFFFFFFF is kInvalidClauseRef): 8 GiB of clauses is the cap.
+    // The header holds a 24-bit literal count; an oversized clause would
+    // silently spill into the used/LBD bits in a Release build, so fail
+    // fast even with asserts compiled out. The cap is not reachable in
+    // practice: a 16.7M-literal clause alone would occupy 64 MB of arena.
+    if (lits.size() > kSizeMask) {
+      throw std::length_error("ClauseArena: clause exceeds 2^24-1 literals");
+    }
+    // Keep refs comfortably below kInvalidClauseRef (and leave the top
+    // bit free for future tagging schemes): 8 GiB of clauses is the cap.
     assert(mem_.size() < (1u << 31));
     const auto cr = static_cast<ClauseRef>(mem_.size());
     mem_.push_back((static_cast<std::uint32_t>(lits.size()) << kSizeShift) |
@@ -69,7 +90,7 @@ class ClauseArena {
   }
 
   [[nodiscard]] int size(ClauseRef cr) const {
-    return static_cast<int>(header(cr) >> kSizeShift);
+    return static_cast<int>((header(cr) >> kSizeShift) & kSizeMask);
   }
   [[nodiscard]] bool learnt(ClauseRef cr) const {
     return (header(cr) & kLearntBit) != 0;
@@ -82,6 +103,21 @@ class ClauseArena {
     mem_[cr] |= kDeletedBit;
     --live_clauses_;
   }
+
+  // ---- LBD / tier metadata (header bits) ----
+  [[nodiscard]] int lbd(ClauseRef cr) const {
+    return static_cast<int>(header(cr) >> kLbdShift);
+  }
+  void set_lbd(ClauseRef cr, int lbd) {
+    auto clamped = static_cast<std::uint32_t>(lbd);
+    if (clamped > kLbdMax) clamped = kLbdMax;
+    mem_[cr] = (mem_[cr] & ~(kLbdMax << kLbdShift)) | (clamped << kLbdShift);
+  }
+  [[nodiscard]] bool used(ClauseRef cr) const {
+    return (header(cr) & kUsedBit) != 0;
+  }
+  void set_used(ClauseRef cr) { mem_[cr] |= kUsedBit; }
+  void clear_used(ClauseRef cr) { mem_[cr] &= ~kUsedBit; }
 
   [[nodiscard]] float activity(ClauseRef cr) const {
     float a;
@@ -148,6 +184,10 @@ class ClauseArena {
   static constexpr std::uint32_t kDeletedBit = 1u << 1;
   static constexpr std::uint32_t kRelocatedBit = 1u << 2;
   static constexpr int kSizeShift = 3;
+  static constexpr std::uint32_t kSizeMask = 0xFFFFFFu;
+  static constexpr std::uint32_t kUsedBit = 1u << 27;
+  static constexpr int kLbdShift = 28;
+  static constexpr std::uint32_t kLbdMax = 0xFu;
   static constexpr ClauseRef kHeaderWords = 2;
 
   [[nodiscard]] std::uint32_t header(ClauseRef cr) const { return mem_[cr]; }

@@ -8,6 +8,7 @@
 #include "sat/cdcl.h"
 #include "sat/clause_arena.h"
 #include "sat/luby.h"
+#include "sat/watcher_pool.h"
 #include "util/rng.h"
 
 namespace symcolor {
@@ -493,6 +494,8 @@ TEST_P(SolverConfigTest, AllConfigurationsAgreeOnPigeonhole) {
     case 3: config.phase_saving = false; break;
     case 4: config.random_branch_freq = 0.05; break;
     case 5: config.default_phase = true; break;
+    case 6: config.restart_scheme = RestartScheme::Adaptive; break;
+    case 7: config.minimize_recursive = true; break;
   }
   {
     CdclSolver solver(pigeonhole(5, 5), config);
@@ -504,7 +507,297 @@ TEST_P(SolverConfigTest, AllConfigurationsAgreeOnPigeonhole) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sweep, SolverConfigTest, ::testing::Range(0, 6));
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverConfigTest, ::testing::Range(0, 8));
+
+// ---- flat occurrence pool (watch lists / PB occurrence storage) ----
+
+TEST(WatcherPool, PushGrowIterate) {
+  FlatOccPool<int> pool;
+  pool.init(4);
+  EXPECT_EQ(pool.num_rows(), 4u);
+  EXPECT_EQ(pool.live_entries(), 0u);
+  for (int i = 0; i < 10; ++i) pool.push(1, i);
+  for (int i = 0; i < 3; ++i) pool.push(3, 100 + i);
+  EXPECT_EQ(pool.size(1), 10u);
+  EXPECT_EQ(pool.size(3), 3u);
+  EXPECT_EQ(pool.size(0), 0u);
+  EXPECT_EQ(pool.live_entries(), 13u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(pool.data(1)[i], i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(pool.row(3)[static_cast<std::size_t>(i)], 100 + i);
+  // Doubling growth leaves relocation garbage behind in the slab.
+  EXPECT_GT(pool.slab_slots(), pool.live_entries());
+}
+
+TEST(WatcherPool, TruncateDropsTail) {
+  FlatOccPool<int> pool;
+  pool.init(2);
+  for (int i = 0; i < 8; ++i) pool.push(0, i);
+  pool.truncate(0, 5);
+  EXPECT_EQ(pool.size(0), 5u);
+  EXPECT_EQ(pool.live_entries(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pool.data(0)[i], i);
+  // Pushing after a truncate reuses the freed tail slots.
+  pool.push(0, 99);
+  EXPECT_EQ(pool.size(0), 6u);
+  EXPECT_EQ(pool.data(0)[5], 99);
+}
+
+TEST(WatcherPool, CompactRestoresCsrOrderAndDropsGarbage) {
+  FlatOccPool<int> pool;
+  pool.init(3);
+  // Interleave pushes so rows end up scattered through the slab.
+  for (int i = 0; i < 20; ++i) pool.push(static_cast<std::size_t>(i % 3), i);
+  const std::size_t live_before = pool.live_entries();
+  EXPECT_GT(pool.slab_slots(), live_before);
+  pool.compact();
+  EXPECT_EQ(pool.live_entries(), live_before);
+  // After compaction rows sit in index order: each row's entries are
+  // contiguous and the structural headroom is bounded (~1.5x + 2).
+  EXPECT_LE(pool.slab_slots(), live_before + live_before / 2 + 2 * 3 + 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    int expect = static_cast<int>(r);
+    for (const int v : pool.row(r)) {
+      EXPECT_EQ(v, expect);
+      expect += 3;
+    }
+  }
+}
+
+TEST(WatcherPool, RebuildFiltersAndMutates) {
+  FlatOccPool<int> pool;
+  pool.init(2);
+  for (int i = 0; i < 12; ++i) pool.push(static_cast<std::size_t>(i % 2), i);
+  // Keep even entries only, mapping each to its half (a mini ref-remap).
+  pool.rebuild([](std::size_t, int& v) {
+    if (v % 2 != 0) return false;
+    v /= 2;
+    return true;
+  });
+  EXPECT_EQ(pool.live_entries(), 6u);
+  EXPECT_EQ(pool.size(0), 6u);  // row 0 held 0,2,4,6,8,10 -> 0,1,2,3,4,5
+  EXPECT_EQ(pool.size(1), 0u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(pool.data(0)[i], i);
+}
+
+TEST(WatcherPool, SparseDetectsGarbageButNotHeadroom) {
+  FlatOccPool<int> pool;
+  pool.init(8);
+  EXPECT_FALSE(pool.sparse());  // empty pool is not sparse
+  for (int i = 0; i < 512; ++i) pool.push(0, i);  // doubling garbage piles up
+  for (int round = 0; round < 6; ++round) {
+    // Repeated grow cycles on a second row inflate the slab further.
+    for (int i = 0; i < 64; ++i) pool.push(1, i);
+    pool.truncate(1, 0);
+  }
+  // After compaction the pool is never immediately sparse again.
+  pool.compact();
+  EXPECT_FALSE(pool.sparse());
+}
+
+// ---- LBD metadata in the clause arena ----
+
+TEST(ClauseArena, LbdAndUsedSurviveRelocation) {
+  ClauseArena arena;
+  const std::vector<Lit> a{Lit::positive(0), Lit::negative(1),
+                           Lit::positive(2)};
+  const std::vector<Lit> b{Lit::positive(3), Lit::negative(4),
+                           Lit::positive(5)};
+  const ClauseRef ra = arena.alloc(a, /*learnt=*/true);
+  const ClauseRef rb = arena.alloc(b, /*learnt=*/true);
+  EXPECT_EQ(arena.lbd(ra), 0);
+  EXPECT_FALSE(arena.used(ra));
+  arena.set_lbd(ra, 7);
+  arena.set_used(ra);
+  arena.set_activity(ra, 2.5f);
+  EXPECT_EQ(arena.lbd(ra), 7);
+  EXPECT_TRUE(arena.used(ra));
+  EXPECT_EQ(arena.size(ra), 3);  // metadata must not corrupt the size bits
+  arena.clear_used(ra);
+  EXPECT_FALSE(arena.used(ra));
+  arena.set_used(ra);
+
+  // LBD saturates at its 4-bit cap instead of overflowing into
+  // neighboring header bits. Saturation is lossless for retention: every
+  // tier threshold sits far below the cap.
+  arena.set_lbd(rb, 1 << 20);
+  EXPECT_EQ(arena.lbd(rb), 15);
+  EXPECT_EQ(arena.size(rb), 3);
+  EXPECT_TRUE(arena.learnt(rb));
+
+  // Relocation carries the metadata across a collection.
+  ClauseArena to;
+  const ClauseRef fa = arena.relocate(ra, &to);
+  EXPECT_EQ(to.lbd(fa), 7);
+  EXPECT_TRUE(to.used(fa));
+  EXPECT_EQ(to.activity(fa), 2.5f);
+}
+
+// ---- LBD tiers in reduce_db ----
+
+TEST(CdclLbd, EveryLearntClauseGetsGlue) {
+  SolverConfig config;
+  CdclSolver solver(pigeonhole(6, 5), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  const SolverStats& stats = solver.stats();
+  ASSERT_GT(stats.learned_clauses, 0);
+  // Every learnt clause has glue >= 1, and glue never exceeds the clause's
+  // literal count, so the sum is bracketed by the other two counters.
+  EXPECT_GE(stats.lbd_sum, stats.conflicts);
+  EXPECT_LE(stats.lbd_sum, stats.learned_literals + stats.conflicts);
+}
+
+TEST(CdclLbd, TierCensusCoversAllLearnts) {
+  SolverConfig config;
+  config.conflict_budget = 300;  // stop mid-search with learnts attached
+  const Formula f = pigeonhole(7, 6);
+  CdclSolver solver(f, config);
+  const std::int64_t problem_clauses = solver.live_clauses();
+  (void)solver.solve();
+  const TierCounts tiers = solver.learned_tier_counts();
+  EXPECT_EQ(tiers.core + tiers.mid + tiers.local,
+            solver.live_clauses() - problem_clauses);
+}
+
+TEST(CdclLbd, WideCoreTierBlocksDeletion) {
+  // With the core threshold above any possible glue, every learnt clause
+  // is immortal: reduce_db must not delete a single one even under a tiny
+  // learnt limit that forces constant reductions.
+  SolverConfig config;
+  config.max_learnts_init = 8;
+  config.tier_core_lbd = 1 << 20;
+  CdclSolver solver(pigeonhole(6, 5), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_EQ(solver.stats().deleted_clauses, 0);
+  EXPECT_GT(solver.stats().tier_core, 0);
+}
+
+TEST(CdclLbd, NarrowTiersRestoreActivityDeletion) {
+  // With both thresholds at zero every non-binary learnt clause lands in
+  // the local tier, recovering plain activity-driven deletion.
+  SolverConfig config;
+  config.max_learnts_init = 8;
+  config.tier_core_lbd = 0;
+  config.tier_mid_lbd = 0;
+  CdclSolver solver(pigeonhole(6, 5), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().deleted_clauses, 0);
+  EXPECT_EQ(solver.total_watchers(),
+            2 * static_cast<std::size_t>(solver.live_clauses()));
+}
+
+TEST(CdclLbd, MidTierDemotionAcrossRepeatedReductions) {
+  // Unused mid-tier clauses must be demoted to the local pool over
+  // repeated reduce_db() calls rather than surviving forever: a wide mid
+  // tier plus a tiny learnt limit forces that path.
+  SolverConfig config;
+  config.max_learnts_init = 8;
+  config.tier_core_lbd = 0;       // nothing is immortal
+  config.tier_mid_lbd = 1 << 20;  // every clause starts mid
+  CdclSolver solver(pigeonhole(7, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().arena_collections, 1);
+  EXPECT_GT(solver.stats().tier_demotions, 0);
+  EXPECT_GT(solver.stats().deleted_clauses, 0);
+}
+
+TEST(CdclLbd, TouchPromotionImprovesGlue) {
+  // Re-touching a learnt clause in conflict analysis recomputes its LBD
+  // and keeps the smaller value; on pigeonhole instances (dense reuse of
+  // learnt clauses) promotions reliably occur.
+  SolverConfig config;
+  CdclSolver solver(pigeonhole(7, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().tier_promotions, 0);
+}
+
+// ---- adaptive (LBD-EMA) restarts ----
+
+TEST(CdclRestarts, AdaptiveAgreesWithLubyOnAnswers) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    Formula f;
+    f.new_vars(10);
+    for (int c = 0; c < 42; ++c) {
+      Clause clause;
+      const int len = 1 + static_cast<int>(rng.below(3));
+      for (int i = 0; i < len; ++i) {
+        clause.push_back(
+            Lit(static_cast<Var>(rng.below(10)), rng.chance(0.5)));
+      }
+      f.add_clause(std::move(clause));
+    }
+    SolverConfig adaptive;
+    adaptive.restart_scheme = RestartScheme::Adaptive;
+    CdclSolver a(f, adaptive);
+    CdclSolver b(f, SolverConfig{});
+    const SolveResult ra = a.solve();
+    const SolveResult rb = b.solve();
+    ASSERT_NE(ra, SolveResult::Unknown);
+    EXPECT_EQ(ra, rb) << "seed " << seed;
+    if (ra == SolveResult::Sat) EXPECT_TRUE(f.satisfied_by(a.model()));
+  }
+}
+
+TEST(CdclRestarts, AdaptiveTriggersOnHighGlueBursts) {
+  // A hair-trigger margin makes the fast EMA cross the slow one almost
+  // immediately on a conflict-heavy UNSAT instance.
+  SolverConfig config;
+  config.restart_scheme = RestartScheme::Adaptive;
+  config.adaptive_min_conflicts = 8;
+  config.restart_margin = 1.0;
+  CdclSolver solver(pigeonhole(7, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().adaptive_restarts, 0);
+  EXPECT_GE(solver.stats().restarts, solver.stats().adaptive_restarts);
+}
+
+TEST(CdclRestarts, ScheduledSchemesNeverCountAdaptive) {
+  CdclSolver solver(pigeonhole(6, 5), SolverConfig{});
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_EQ(solver.stats().adaptive_restarts, 0);
+}
+
+// ---- incremental adds through the flat pools ----
+
+TEST(Cdcl, IncrementalAddPbRebuildsOccurrencePool) {
+  // add_pb between solves appends through the pool growth path; the next
+  // solve() re-compacts. Answers must track the growing constraint set.
+  Formula f;
+  const Var first = f.new_vars(6);
+  std::vector<PbTerm> ones;
+  for (int i = 0; i < 6; ++i) ones.push_back({1, Lit::positive(first + i)});
+  f.add_pb(PbConstraint::at_least(ones, 2));
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  const std::size_t occs_before = solver.total_pb_occs();
+  // Tighten: at least 5 of 6, then force two variables false -> UNSAT.
+  ASSERT_TRUE(solver.add_pb(PbConstraint::at_least(ones, 5)));
+  EXPECT_GT(solver.total_pb_occs(), occs_before);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  bool ok = solver.add_clause({Lit::negative(first)});
+  ok = ok && solver.add_clause({Lit::negative(first + 1)});
+  if (ok) {
+    EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  }
+  // The occurrence pool stays garbage-bounded after the rebuild hook.
+  EXPECT_GE(solver.pb_occ_pool_slots(), solver.total_pb_occs());
+}
+
+TEST(Cdcl, IncrementalAddClauseGrowsWatcherPools) {
+  Formula f;
+  f.new_vars(8);
+  f.add_clause({Lit::positive(0), Lit::positive(1)});
+  CdclSolver solver(f);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  const std::size_t watchers_before = solver.total_watchers();
+  ASSERT_TRUE(solver.add_clause(
+      {Lit::negative(0), Lit::positive(2), Lit::positive(3)}));
+  ASSERT_TRUE(solver.add_clause({Lit::negative(1), Lit::negative(2)}));
+  EXPECT_EQ(solver.total_watchers(), watchers_before + 4);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.total_watchers(),
+            2 * static_cast<std::size_t>(solver.live_clauses()));
+}
 
 }  // namespace
 }  // namespace symcolor
