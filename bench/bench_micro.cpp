@@ -29,6 +29,7 @@
 #include "pb/optimizer.h"
 #include "pb/solver_profiles.h"
 #include "sat/cdcl.h"
+#include "sat/portfolio.h"
 #include "sat/watcher_pool.h"
 #include "symmetry/formula_graph.h"
 #include "symmetry/shatter.h"
@@ -181,6 +182,35 @@ void BM_WatcherPoolChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WatcherPoolChurn)->Arg(256)->Arg(4096);
+
+// Wall-clock of the clone-based portfolio (threads = range arg) against
+// the identical pipeline single-threaded. queen9 at K = chi + 1 with
+// NU-only SBPs is deliberately heavy-tailed: the base PBS II personality
+// wanders for tens of seconds before finding a model while the
+// adaptive-with-blocking worker finishes in a few, so the race shows the
+// portfolio's robustness value even on a single core (the winner's solo
+// time times the timeslicing factor still beats the unlucky base by an
+// order of magnitude; on real multicore the gap widens). Real time, not
+// CPU time: worker threads run outside the benchmark thread.
+void BM_CdclPortfolioSpeedup(benchmark::State& state) {
+  const Graph g = make_queen_graph(9, 9);
+  const ColoringEncoding enc =
+      encode_k_coloring(g, 10, SbpOptions::nu_only());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto engine = make_solver_engine(enc.formula, config);
+    // The guard deadline only trips if a regression makes the race
+    // pathological; a timeout would clamp the reported ratio from below.
+    benchmark::DoNotOptimize(engine->solve(Deadline(180.0)));
+  }
+}
+BENCHMARK(BM_CdclPortfolioSpeedup)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_MinimizeMyciel(benchmark::State& state) {
   const Graph g = make_myciel_dimacs(static_cast<int>(state.range(0)));

@@ -1,12 +1,14 @@
 #include "coloring/cnf_coloring.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "cnf/pb_to_cnf.h"
 #include "coloring/heuristics.h"
 #include "coloring/sbp.h"
 #include "graph/clique.h"
+#include "sat/portfolio.h"
 
 namespace symcolor {
 namespace {
@@ -136,6 +138,13 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
   int upper = Graph::count_colors(best_coloring);  // feasible
   int lower = std::max<int>(1, static_cast<int>(greedy_clique(graph).size()));
 
+  // The portfolio_threads knob overrides the embedded solver config; the
+  // factory then picks the sequential engine or the parallel portfolio.
+  SolverConfig solver_config = options.solver;
+  if (options.portfolio_threads > 1) {
+    solver_config.portfolio_threads = options.portfolio_threads;
+  }
+
   if (options.incremental) {
     // One encoding at the upper bound; NU makes color usage a prefix, so
     // assuming ~y(k) asserts "at most k colors".
@@ -143,18 +152,19 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
     sbps.nu = true;
     ColoringEncoding enc =
         encode_k_coloring_cnf(graph, upper, options.amo, sbps);
-    CdclSolver solver(enc.formula, options.solver);
+    const std::unique_ptr<SolverEngine> solver =
+        make_solver_engine(enc.formula, solver_config);
     bool timed_out = false;
     while (upper > lower) {
       ++result.sat_calls;
       const std::vector<Lit> assume{Lit::negative(enc.y(upper - 1))};
-      const SolveResult r = solver.solve(deadline, assume);
+      const SolveResult r = solver->solve(deadline, assume);
       if (r == SolveResult::Unknown) {
         timed_out = true;
         break;
       }
       if (r == SolveResult::Unsat) break;
-      best_coloring = enc.decode(solver.model());
+      best_coloring = enc.decode(solver->model());
       upper = Graph::count_colors(best_coloring);
     }
     result.num_colors = upper;
@@ -167,11 +177,12 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
   auto query = [&](int k) {
     ColoringEncoding enc =
         encode_k_coloring_cnf(graph, k, options.amo, options.sbps);
-    CdclSolver solver(enc.formula, options.solver);
+    const std::unique_ptr<SolverEngine> solver =
+        make_solver_engine(enc.formula, solver_config);
     ++result.sat_calls;
-    const SolveResult r = solver.solve(deadline);
+    const SolveResult r = solver->solve(deadline);
     if (r == SolveResult::Sat) {
-      best_coloring = enc.decode(solver.model());
+      best_coloring = enc.decode(solver->model());
       upper = Graph::count_colors(best_coloring);
     }
     return r;

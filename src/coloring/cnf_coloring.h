@@ -15,6 +15,10 @@
 //  * a descending / binary search over K driven by DSATUR upper bounds
 //    and clique lower bounds (the per-instance procedure the paper
 //    sketches in Section 4.1).
+//
+// Every SAT call goes through the SolverEngine factory, so the loop runs
+// unchanged on the sequential CDCL engine (portfolio_threads = 1) or on
+// the clone-based parallel portfolio (portfolio_threads > 1).
 
 #include "coloring/encoder.h"
 #include "pb/optimizer.h"
@@ -44,6 +48,12 @@ struct SatLoopOptions {
   double time_budget_seconds = 0.0;
   bool binary_search = false;  ///< bisect [clique, DSATUR] instead of
                                ///< descending from the DSATUR bound
+  /// Racing solver workers per SAT call (see sat/portfolio.h); > 1
+  /// overrides solver.portfolio_threads. The minimum color count is
+  /// identical at any thread count — only the wall-clock changes. In the
+  /// incremental pipeline the portfolio master carries learned clauses
+  /// (its own and imported core clauses) across the K queries.
+  int portfolio_threads = 1;
   /// Keep ONE solver across all K queries: encode once at the upper
   /// bound with NU forced on, and query "<= k colors" by assuming
   /// ~y(k) (null-color elimination makes the usage prefix-closed, so a

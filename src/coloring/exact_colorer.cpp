@@ -41,7 +41,8 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
   if (options.solver == SolverKind::GenericIlp) {
     result = solve_generic_ilp(enc.formula, deadline);
   } else {
-    const SolverConfig config = profile_config(options.solver);
+    SolverConfig config = profile_config(options.solver);
+    config.portfolio_threads = options.threads;
     result = optimization
                  ? (options.binary_search
                         ? minimize_binary(enc.formula, config, deadline)

@@ -39,6 +39,10 @@ struct ColoringOptions {
   /// Run the pre-solve simplifier (root propagation, pure literals,
   /// subsumption) after SBPs are in place.
   bool presimplify = false;
+  /// Racing portfolio workers inside every CDCL solve (sat/portfolio.h);
+  /// 1 = the plain sequential engine. The reported optimum is identical
+  /// at any thread count. Ignored by SolverKind::GenericIlp.
+  int threads = 1;
 };
 
 struct ColoringOutcome {

@@ -1,6 +1,9 @@
 #include "pb/optimizer.h"
 
 #include <cassert>
+#include <memory>
+
+#include "sat/portfolio.h"
 
 namespace symcolor {
 namespace {
@@ -17,14 +20,15 @@ OptResult solve_decision(const Formula& formula, const SolverConfig& config,
                          const Deadline& deadline) {
   OptResult result;
   Timer timer;
-  CdclSolver solver(formula, config);
-  const SolveResult sat = solver.solve(deadline);
-  result.stats = solver.stats();
+  const std::unique_ptr<SolverEngine> solver =
+      make_solver_engine(formula, config);
+  const SolveResult sat = solver->solve(deadline);
+  result.stats = solver->stats();
   result.seconds = timer.seconds();
   switch (sat) {
     case SolveResult::Sat:
       result.status = OptStatus::Optimal;
-      result.model = solver.model();
+      result.model = solver->model();
       if (formula.objective()) {
         result.best_value = formula.objective()->value(result.model);
         result.status = OptStatus::Feasible;  // value not proved minimal
@@ -47,18 +51,19 @@ OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
 
   OptResult result;
   Timer timer;
-  CdclSolver solver(formula, config);
+  const std::unique_ptr<SolverEngine> solver =
+      make_solver_engine(formula, config);
   bool have_model = false;
   for (;;) {
-    const SolveResult sat = solver.solve(deadline);
+    const SolveResult sat = solver->solve(deadline);
     if (sat == SolveResult::Sat) {
-      result.model = solver.model();
+      result.model = solver->model();
       result.best_value = objective.value(result.model);
       have_model = true;
       // Strengthen: demand a strictly better objective value. Adding the
       // bound can immediately make the instance trivially unsat, which
       // the next solve() reports.
-      solver.add_pb(objective_at_most(objective, result.best_value - 1));
+      solver->add_pb(objective_at_most(objective, result.best_value - 1));
       continue;
     }
     if (sat == SolveResult::Unsat) {
@@ -68,7 +73,7 @@ OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
     result.status = have_model ? OptStatus::Feasible : OptStatus::Unknown;
     break;
   }
-  result.stats = solver.stats();
+  result.stats = solver->stats();
   result.seconds = timer.seconds();
   return result;
 }
@@ -83,9 +88,10 @@ OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
 
   // Probe with no bound first to obtain an incumbent.
   {
-    CdclSolver solver(formula, config);
-    const SolveResult sat = solver.solve(deadline);
-    result.stats = solver.stats();
+    const std::unique_ptr<SolverEngine> solver =
+        make_solver_engine(formula, config);
+    const SolveResult sat = solver->solve(deadline);
+    result.stats = solver->stats();
     if (sat == SolveResult::Unsat) {
       result.status = OptStatus::Infeasible;
       result.seconds = timer.seconds();
@@ -96,7 +102,7 @@ OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
       result.seconds = timer.seconds();
       return result;
     }
-    result.model = solver.model();
+    result.model = solver->model();
     result.best_value = objective.value(result.model);
   }
 
@@ -111,13 +117,14 @@ OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
     const std::int64_t mid = lo + (hi - lo) / 2;
     Formula probe = formula;
     probe.add_pb(objective_at_most(objective, mid));
-    CdclSolver solver(probe, config);
-    const SolveResult sat = solver.solve(deadline);
-    result.stats.conflicts += solver.stats().conflicts;
-    result.stats.decisions += solver.stats().decisions;
-    result.stats.propagations += solver.stats().propagations;
+    const std::unique_ptr<SolverEngine> solver =
+        make_solver_engine(probe, config);
+    const SolveResult sat = solver->solve(deadline);
+    result.stats.conflicts += solver->stats().conflicts;
+    result.stats.decisions += solver->stats().decisions;
+    result.stats.propagations += solver->stats().propagations;
     if (sat == SolveResult::Sat) {
-      result.model = solver.model();
+      result.model = solver->model();
       result.best_value = objective.value(result.model);
       hi = result.best_value - 1;
     } else if (sat == SolveResult::Unsat) {

@@ -1,5 +1,5 @@
 #pragma once
-// Boolean optimization (0-1 ILP) on top of the CDCL engine.
+// Boolean optimization (0-1 ILP) on top of the solve pipeline.
 //
 // The paper's solvers minimize a linear objective over a CNF+PB formula.
 // We implement the standard strengthening loop ("linear search" in the
@@ -7,6 +7,14 @@
 // add  objective <= W - 1  and re-solve with all learned clauses kept;
 // repeat until UNSAT, which proves the last model optimal. A binary-search
 // variant (fresh solver per probe) backs the search-strategy ablation.
+//
+// Both loops drive an abstract SolverEngine obtained from
+// make_solver_engine, never a concrete solver: setting
+// SolverConfig::portfolio_threads > 1 swaps the sequential CDCL backend
+// for the clone-based parallel portfolio (sat/portfolio.h) without the
+// loops changing shape, and the optima are identical at any thread count
+// (the strengthening loops are exact regardless of which model each SAT
+// call happens to surface).
 
 #include <cstdint>
 #include <vector>

@@ -14,7 +14,7 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
   assigns_.assign(n, LBool::Undef);
   lit_values_.assign(2 * n, LBool::Undef);
   vardata_.assign(n, {});
-  activity_.assign(n, 0.0);
+  order_.assign_scores(n, 0.0);
   polarity_.assign(n, config_.default_phase ? 1 : 0);
   seen_.assign(n, 0);
   lbd_level_stamp_.assign(n + 1, 0);  // one slot per possible decision level
@@ -48,6 +48,27 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
       config_.max_learnts_init > 0.0
           ? config_.max_learnts_init
           : std::max(800.0, static_cast<double>(arena_.live_clauses()) / 8.0);
+  next_reduce_conflicts_ = config_.reduce_interval_base;
+}
+
+void CdclSolver::reconfigure(const SolverConfig& config) {
+  assert(decision_level() == 0);
+  config_ = config;
+  rng_ = Rng(config.random_seed);
+  // std::vector copies do not preserve capacity, so a freshly cloned
+  // solver lost the constructor's trail reservation; restore it here (the
+  // portfolio reconfigures every clone before it searches).
+  trail_.reserve(assigns_.size());
+  trail_lim_.reserve(assigns_.size());
+  if (config.max_learnts_init > 0.0) max_learnts_ = config.max_learnts_init;
+  // Re-arm schedule state so the new restart/reduce policies start from a
+  // clean baseline instead of inheriting the previous policy's averages.
+  next_reduce_conflicts_ = stats_.conflicts + config.reduce_interval_base;
+  reduce_rounds_ = 0;
+  lbd_ema_fast_ = lbd_ema_slow_ = 0.0;
+  lbd_ema_seeded_ = false;
+  trail_ema_ = 0.0;
+  trail_ema_seeded_ = false;
 }
 
 bool CdclSolver::add_clause(Clause clause) {
@@ -487,9 +508,10 @@ Lit CdclSolver::pick_branch() {
 }
 
 void CdclSolver::bump_var(Var v) {
-  activity_[static_cast<std::size_t>(v)] += var_inc_;
-  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
-    for (double& a : activity_) a *= 1e-100;
+  std::vector<double>& activity = order_.scores();
+  activity[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
   order_.update(v);
@@ -564,6 +586,32 @@ void CdclSolver::update_restart_emas(int lbd) {
   }
   lbd_ema_fast_ += config_.restart_ema_fast * (x - lbd_ema_fast_);
   lbd_ema_slow_ += config_.restart_ema_slow * (x - lbd_ema_slow_);
+}
+
+void CdclSolver::maybe_export(std::span<const Lit> learnt, int lbd) {
+  if (hooks_.sharing == nullptr || lbd > config_.share_max_lbd) return;
+  // Only count clauses the (bounded) exchange actually accepted.
+  if (hooks_.sharing->export_clause(hooks_.worker_id, learnt, lbd)) {
+    ++stats_.exported_clauses;
+  }
+}
+
+bool CdclSolver::drain_imports() {
+  assert(decision_level() == 0);
+  import_buf_.clear();
+  hooks_.sharing->import_clauses(hooks_.worker_id, &hooks_.import_cursor,
+                                 &import_buf_);
+  for (Clause& c : import_buf_) {
+    ++stats_.imported_clauses;
+    // Learnt clauses are consequences of the shared formula (conflict
+    // analysis never resolves on assumption pseudo-decisions), so a
+    // foreign clause is added exactly like a problem clause: simplified
+    // against the level-0 assignment, unit-propagated if forcing. Glue
+    // imports would be core-tier anyway, so attaching them as permanent
+    // clauses loses nothing to reduce_db().
+    if (!add_clause(std::move(c))) return false;
+  }
+  return true;
 }
 
 bool CdclSolver::clause_locked(ClauseRef cref) const {
@@ -705,6 +753,14 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
   const std::int64_t start_conflicts = stats_.conflicts;
 
   for (;;) {
+    // Restart boundary (also the solve entry): absorb clauses other
+    // portfolio workers published. We are at decision level 0 here, so
+    // imports take the ordinary root-clause path; deriving level-0 unsat
+    // from a foreign clause ends the search outright.
+    if (hooks_.sharing != nullptr && !drain_imports()) {
+      ok_ = false;
+      return SolveResult::Unsat;
+    }
     // Scheduled restart interval; the adaptive scheme restarts on the
     // LBD-EMA condition instead and ignores the schedule.
     const std::int64_t interval =
@@ -721,7 +777,10 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
     std::int64_t conflicts_this_restart = 0;
     std::int64_t ticks = 0;
     for (;;) {
-      if (++ticks % 256 == 0 && deadline.expired()) {
+      if (++ticks % 256 == 0 &&
+          (deadline.expired() ||
+           (hooks_.stop != nullptr &&
+            hooks_.stop->load(std::memory_order_relaxed)))) {
         backtrack(0);
         return SolveResult::Unknown;
       }
@@ -740,9 +799,37 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         }
         int backjump = 0;
         int lbd = 1;
+        // Sample the conflict-time trail size into the blocking EMA
+        // before analysis backtracks it away.
+        if (config_.restart_blocking) {
+          const auto trail_size = static_cast<double>(trail_.size());
+          if (!trail_ema_seeded_) {
+            trail_ema_ = trail_size;
+            trail_ema_seeded_ = true;
+          } else {
+            trail_ema_ += config_.block_ema * (trail_size - trail_ema_);
+          }
+        }
         analyze(conflict, &learnt, &backjump, &lbd);
         stats_.lbd_sum += lbd;
         update_restart_emas(lbd);
+        // Glucose-style restart blocking, evaluated AT the conflict (the
+        // trail is still at conflict depth here — both sides of the
+        // comparison see conflict-time sizes): when a restart is pending
+        // on the LBD-EMA condition but this conflict's trail runs much
+        // deeper than conflicts typically do, the search is plausibly
+        // filling in a model — defuse the pending restart by pulling the
+        // fast EMA back to the long-run mean instead of restarting.
+        if (adaptive && config_.restart_blocking && trail_ema_seeded_ &&
+            lbd_ema_seeded_ &&
+            conflicts_this_restart >= config_.adaptive_min_conflicts &&
+            lbd_ema_fast_ > config_.restart_margin * lbd_ema_slow_ &&
+            static_cast<double>(trail_.size()) >
+                config_.block_margin * trail_ema_) {
+          ++stats_.blocked_restarts;
+          lbd_ema_fast_ = lbd_ema_slow_;
+        }
+        maybe_export(learnt, lbd);
         backtrack(backjump);
         if (learnt.size() == 1) {
           enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
@@ -761,6 +848,9 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
       // No conflict: restart, reduce, or decide.
       bool restart_now;
       if (adaptive) {
+        // (Restart blocking already ran at conflict time: a blocked
+        // restart reset the fast EMA there, so the condition below is
+        // false for it by construction.)
         restart_now = conflicts_this_restart >= config_.adaptive_min_conflicts &&
                       lbd_ema_seeded_ &&
                       lbd_ema_fast_ > config_.restart_margin * lbd_ema_slow_;
@@ -777,9 +867,22 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         backtrack(0);
         break;  // restart
       }
-      if (static_cast<double>(learnt_count_) >= max_learnts_) {
+      const bool reduce_now =
+          config_.reduce_scheme == ReduceScheme::ConflictInterval
+              ? stats_.conflicts >= next_reduce_conflicts_
+              : static_cast<double>(learnt_count_) >= max_learnts_;
+      if (reduce_now) {
         reduce_db();
-        max_learnts_ *= 1.2;
+        if (config_.reduce_scheme == ReduceScheme::ConflictInterval) {
+          // Linear back-off (CaDiCaL lineage): each completed round earns
+          // the DB a longer leash before the next one.
+          ++reduce_rounds_;
+          next_reduce_conflicts_ = stats_.conflicts +
+                                   config_.reduce_interval_base +
+                                   config_.reduce_interval_inc * reduce_rounds_;
+        } else {
+          max_learnts_ *= 1.2;
+        }
       }
 
       // Take pending assumptions as pseudo-decisions first.

@@ -10,11 +10,24 @@
 //     to clausal reasons on demand, the classic PBS scheme,
 //   * optional learned-clause minimization (self-subsumption),
 //   * VSIDS variable activity with phase saving,
-//   * Luby, geometric, or Glucose-style adaptive (LBD-EMA) restarts,
-//   * LBD-tiered learned-clause retention with activity tie-breaking.
+//   * Luby, geometric, or Glucose-style adaptive (LBD-EMA) restarts, the
+//     adaptive scheme optionally guarded by Glucose's trail-size restart
+//     blocking (suppress a restart while the trail is far above its
+//     long-run average — the worker is plausibly near a model),
+//   * LBD-tiered learned-clause retention with activity tie-breaking,
+//     reducible either on DB size (default) or on a CaDiCaL-style
+//     conflict-interval schedule (ReduceScheme::ConflictInterval).
 //
 // The configuration knobs expose exactly the axes along which the paper's
 // three academic solvers differ; see pb/solver_profiles.h.
+//
+// The solver implements the SolverEngine interface (sat/solver_engine.h)
+// and is the unit of parallelism of the clone-based portfolio
+// (sat/portfolio.h): the arena/pool storage makes a deep copy a handful
+// of memcpys, reconfigure() diversifies a clone in place, and the
+// ClauseSharing hooks let racing workers exchange core-tier (glue <=
+// share_max_lbd) learnt clauses — exported at learn time, imported at
+// restart boundaries where a plain level-0 clause addition is sound.
 //
 // Constraint storage (the propagation hot path):
 //   * Clauses live in a single contiguous ClauseArena (sat/clause_arena.h)
@@ -79,7 +92,9 @@
 //     (higher-glue) clauses than its long-run average. stats() reports how
 //     many restarts the EMA condition triggered.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -87,15 +102,22 @@
 #include "cnf/literals.h"
 #include "sat/clause_arena.h"
 #include "sat/heap.h"
+#include "sat/solver_engine.h"
 #include "sat/watcher_pool.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace symcolor {
 
-enum class SolveResult { Sat, Unsat, Unknown };
-
 enum class RestartScheme { Luby, Geometric, Adaptive };
+
+/// When reduce_db() fires: on learned-DB size crossing a growing limit
+/// (MiniSat lineage, the default) or on a conflict-count schedule that
+/// grows linearly per reduction (CaDiCaL/Glucose lineage) — the latter
+/// decouples reduction cadence from how fast the DB happens to grow,
+/// which behaves better on very long solves and is a portfolio
+/// diversification axis.
+enum class ReduceScheme { DbSize, ConflictInterval };
 
 struct SolverConfig {
   double var_decay = 0.95;
@@ -148,39 +170,44 @@ struct SolverConfig {
   /// Minimum conflicts between adaptive restarts (lets the fast EMA
   /// re-stabilize after the post-restart reset).
   std::int64_t adaptive_min_conflicts = 50;
-};
 
-struct SolverStats {
-  std::int64_t decisions = 0;
-  std::int64_t propagations = 0;
-  std::int64_t conflicts = 0;
-  std::int64_t restarts = 0;
-  std::int64_t learned_clauses = 0;
-  std::int64_t learned_literals = 0;
-  std::int64_t minimized_literals = 0;
-  std::int64_t deleted_clauses = 0;
-  /// Arena garbage collections performed by reduce_db().
-  std::int64_t arena_collections = 0;
-  /// PB constraints skipped because slack >= max coefficient.
-  std::int64_t pb_short_circuits = 0;
+  // ---- restart blocking (Glucose trail-size heuristic) ----
+  /// Suppress an adaptive restart when the current trail is much larger
+  /// than its long-run average at conflicts: a deep trail means the worker
+  /// is plausibly close to completing a model, and restarting would throw
+  /// that progress away. Only consulted under RestartScheme::Adaptive.
+  bool restart_blocking = false;
+  /// Block when trail size > block_margin * trail EMA (Glucose uses 1.4).
+  double block_margin = 1.4;
+  /// Smoothing factor of the trail-size EMA (Glucose averages ~5000
+  /// trailing conflicts).
+  double block_ema = 1.0 / 5000.0;
 
-  // ---- LBD / tier activity ----
-  /// Sum of LBD values at learn time (lbd_sum / learned_clauses = mean glue).
-  std::int64_t lbd_sum = 0;
-  /// LBD improvements observed when re-touching learnt clauses in analysis.
-  std::int64_t tier_promotions = 0;
-  /// Mid-tier clauses demoted to the local pool for going unused between
-  /// consecutive reductions.
-  std::int64_t tier_demotions = 0;
-  /// Per-tier learnt-clause counts recorded by the most recent reduce_db().
-  std::int64_t tier_core = 0;
-  std::int64_t tier_mid = 0;
-  std::int64_t tier_local = 0;
+  // ---- reduce_db scheduling ----
+  ReduceScheme reduce_scheme = ReduceScheme::DbSize;
+  /// ConflictInterval: first reduction after this many conflicts...
+  std::int64_t reduce_interval_base = 2000;
+  /// ...and each later one after base + inc * completed_reductions more
+  /// (linear back-off, CaDiCaL/Glucose style).
+  std::int64_t reduce_interval_inc = 300;
 
-  // ---- restart-mode activity ----
-  /// Restarts triggered by the adaptive LBD-EMA condition (a subset of
-  /// `restarts`; the remainder followed the Luby/geometric schedule).
-  std::int64_t adaptive_restarts = 0;
+  // ---- portfolio clause sharing ----
+  /// Learnt clauses with LBD <= share_max_lbd are exported to the
+  /// attached ClauseSharing sink (core-tier currency: glue <= 2 by
+  /// default, matching tier_core_lbd; learnt units export as glue 1).
+  int share_max_lbd = 2;
+
+  // ---- parallel portfolio (read by make_solver_engine/PortfolioSolver,
+  // ---- ignored by CdclSolver itself) ----
+  /// Number of racing workers; <= 1 selects the plain sequential engine
+  /// with zero threading overhead.
+  int portfolio_threads = 1;
+  /// Reproducible mode: clause sharing and cooperative cancellation off,
+  /// every worker runs to completion, the lowest-indexed definitive
+  /// answer wins. Costs the race's early-exit benefit; meant for tests.
+  bool portfolio_deterministic = false;
+  /// Bound on the shared export buffer (clauses; further exports drop).
+  std::size_t portfolio_buffer = 1 << 14;
 };
 
 /// Learnt-clause census by retention tier (see SolverConfig thresholds).
@@ -192,35 +219,73 @@ struct TierCounts {
 
 /// One solver instance owns a private copy of the formula's constraints.
 /// Usage: construct, optionally add more constraints, then solve().
-class CdclSolver {
+///
+/// Implements SolverEngine; the virtual boundary sits at the granularity
+/// of whole solve()/add_*() calls, so the propagation/analysis hot path
+/// (all non-virtual private members) is unaffected by the indirection.
+class CdclSolver final : public SolverEngine {
  public:
   explicit CdclSolver(const Formula& formula, SolverConfig config = {});
 
-  CdclSolver(const CdclSolver&) = delete;
+  /// Deep copy — the portfolio's worker-spawn path. The arena, pools and
+  /// per-variable state are contiguous vectors, so this is a handful of
+  /// memcpys; learned clauses, activities, saved phases and the level-0
+  /// trail all carry over. Portfolio hooks (sharing sink, interrupt flag)
+  /// deliberately do NOT: a clone starts unattached (PortfolioHooks
+  /// resets itself on copy, which is what lets this stay = default — no
+  /// hand-maintained member list to drift when state is added).
+  CdclSolver(const CdclSolver& other) = default;
   CdclSolver& operator=(const CdclSolver&) = delete;
 
   /// Add a clause after construction (level-0 only; used by the
   /// optimization loop to strengthen objective bounds between calls).
   /// Returns false if the addition makes the instance trivially unsat.
-  bool add_clause(Clause clause);
+  bool add_clause(Clause clause) override;
   /// Add a PB constraint after construction (level-0 only).
-  bool add_pb(PbConstraint constraint);
+  bool add_pb(PbConstraint constraint) override;
 
   /// Solve under optional assumptions. Returns Unknown on deadline or
-  /// conflict-budget exhaustion. Can be called repeatedly; learned
-  /// clauses persist across calls.
+  /// conflict-budget exhaustion (or when the interrupt flag trips). Can
+  /// be called repeatedly; learned clauses persist across calls.
   SolveResult solve(const Deadline& deadline = {},
-                    std::span<const Lit> assumptions = {});
+                    std::span<const Lit> assumptions = {}) override;
 
   /// Complete model from the last Sat answer, indexed by variable.
-  [[nodiscard]] const std::vector<LBool>& model() const noexcept {
+  [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
     return model_;
   }
 
-  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] int num_vars() const noexcept {
+  [[nodiscard]] const SolverStats& stats() const noexcept override {
+    return stats_;
+  }
+  [[nodiscard]] int num_vars() const noexcept override {
     return static_cast<int>(assigns_.size());
   }
+
+  [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
+    return std::make_unique<CdclSolver>(*this);
+  }
+
+  // ---- portfolio hooks ----
+  /// Attach (or detach with nullptr) a shared clause pool. Glue learnt
+  /// clauses (LBD <= config.share_max_lbd) are exported at learn time;
+  /// foreign clauses are imported at every restart boundary. The import
+  /// cursor resets on attach, so re-attaching to a fresh pool is safe.
+  void set_sharing(ClauseSharing* sharing, int worker_id) {
+    hooks_.sharing = sharing;
+    hooks_.worker_id = worker_id;
+    hooks_.import_cursor = 0;
+  }
+  /// Cooperative cancellation: solve() polls the flag on the same coarse
+  /// cadence as the deadline and returns Unknown once it is set.
+  void set_interrupt(const std::atomic<bool>* stop) { hooks_.stop = stop; }
+  /// Swap the configuration of a live solver (the portfolio diversifies
+  /// clones this way). Learned clauses, activities and saved phases are
+  /// kept; the RNG is reseeded from the new config and the restart/reduce
+  /// schedule state is re-armed. Phase diversification via default_phase
+  /// therefore only bites with phase_saving off (saved polarities win
+  /// otherwise).
+  void reconfigure(const SolverConfig& config);
 
   // ---- storage introspection (tests / benchmarks) ----
   /// Total watcher entries across all literals (binary + long pools).
@@ -398,6 +463,13 @@ class CdclSolver {
   void touch_learnt(ClauseRef cref);
   /// Fold one learnt-clause LBD into the fast/slow restart EMAs.
   void update_restart_emas(int lbd);
+  /// Publish a freshly learnt clause to the sharing sink when its glue
+  /// qualifies (called for learnt units too, as glue 1).
+  void maybe_export(std::span<const Lit> learnt, int lbd);
+  /// Absorb every foreign clause published since the import cursor (must
+  /// be at decision level 0 — restart boundaries and solve entry).
+  /// Returns false when an import derives level-0 unsatisfiability.
+  bool drain_imports();
 
   // ---- state ----
   SolverConfig config_;
@@ -426,10 +498,9 @@ class CdclSolver {
   std::vector<int> trail_lim_;
   int qhead_ = 0;
 
-  std::vector<double> activity_;
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
-  ActivityHeap order_{activity_};
+  ActivityHeap order_;  // owns the VSIDS score array (order_.scores())
   std::vector<char> polarity_;  // saved phase, 1 = last value true
 
   std::vector<char> seen_;      // scratch for analyze()
@@ -442,6 +513,30 @@ class CdclSolver {
   double lbd_ema_fast_ = 0.0;
   double lbd_ema_slow_ = 0.0;
   bool lbd_ema_seeded_ = false;
+
+  // Restart-blocking state: EMA of trail size sampled at conflicts.
+  double trail_ema_ = 0.0;
+  bool trail_ema_seeded_ = false;
+
+  // ConflictInterval reduce schedule: next trigger and completed rounds.
+  std::int64_t next_reduce_conflicts_ = 0;
+  std::int64_t reduce_rounds_ = 0;
+
+  /// Portfolio attachment (sharing sink, worker identity, interrupt
+  /// flag). Self-resetting on copy: a cloned solver must start detached
+  /// — these point into the spawning portfolio's solve() frame — and
+  /// encoding that here keeps the solver's copy constructor defaultable.
+  struct PortfolioHooks {
+    ClauseSharing* sharing = nullptr;
+    int worker_id = 0;
+    std::size_t import_cursor = 0;
+    const std::atomic<bool>* stop = nullptr;
+    PortfolioHooks() = default;
+    PortfolioHooks(const PortfolioHooks&) noexcept {}  // copy = detach
+    PortfolioHooks& operator=(const PortfolioHooks&) = delete;
+  };
+  PortfolioHooks hooks_;
+  std::vector<Clause> import_buf_;  // drain_imports scratch
 
   std::vector<LBool> model_;
   bool ok_ = true;  // false once level-0 conflict derived

@@ -13,10 +13,21 @@ namespace symcolor {
 
 class ActivityHeap {
  public:
-  /// `activity` must outlive the heap; scores are read through it on every
-  /// comparison so bumps are picked up via update().
-  explicit ActivityHeap(const std::vector<double>& activity)
-      : activity_(activity) {}
+  /// The heap owns the score array (one double per variable): comparisons
+  /// read it directly, the solver mutates it through scores() and then
+  /// calls update() to restore heap order. Owning the scores keeps the
+  /// class a plain value type — the solver clone path copies heap and
+  /// scores together with no rebinding step.
+  ActivityHeap() = default;
+
+  /// Reset to `n` variables, all with score `value`.
+  void assign_scores(std::size_t n, double value) {
+    activity_.assign(n, value);
+  }
+  [[nodiscard]] std::vector<double>& scores() noexcept { return activity_; }
+  [[nodiscard]] const std::vector<double>& scores() const noexcept {
+    return activity_;
+  }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] bool contains(Var v) const noexcept {
@@ -47,7 +58,7 @@ class ActivityHeap {
     index_[static_cast<std::size_t>(v)] = static_cast<int>(i);
   }
 
-  const std::vector<double>& activity_;
+  std::vector<double> activity_;  // score per variable, owned
   std::vector<Var> heap_;
   std::vector<int> index_;  // var -> heap position, -1 when absent
 };

@@ -1,0 +1,230 @@
+#include "sat/portfolio.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace symcolor {
+
+std::uint64_t mix_worker_seed(std::uint64_t base_seed, int worker) {
+  if (worker == 0) return base_seed;
+  // SplitMix64 finalizer over (seed, index): a one-bit change in either
+  // input decorrelates the whole output, so consecutive worker indices
+  // (and the small hand-picked seeds of the solver profiles) never yield
+  // overlapping SplitMix streams.
+  std::uint64_t z = base_seed +
+                    0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(worker);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SolverConfig diversify_config(const SolverConfig& base, int index) {
+  SolverConfig c = base;
+  if (index == 0) return c;
+  c.random_seed = mix_worker_seed(base.random_seed, index);
+  switch (index % 4) {
+    case 1:
+      // SAT-dense personality: adaptive restarts guarded by trail-size
+      // blocking — hangs on to deep trails instead of restarting them.
+      c.restart_scheme = RestartScheme::Adaptive;
+      c.restart_blocking = true;
+      break;
+    case 2:
+      // Slow-and-steady: gentle geometric restarts with the
+      // conflict-interval reduce schedule (keeps more clauses early).
+      c.restart_scheme = RestartScheme::Geometric;
+      c.restart_base = 100;
+      c.restart_growth = 1.3;
+      c.reduce_scheme = ReduceScheme::ConflictInterval;
+      break;
+    case 3:
+      // Scrambler: rapid Luby restarts, positive fixed-phase branching
+      // (the opposite of the coloring-tuned negative default), a dash of
+      // random decisions.
+      c.restart_scheme = RestartScheme::Luby;
+      c.restart_base = 32;
+      c.phase_saving = false;
+      c.default_phase = true;
+      c.random_branch_freq = std::max(0.02, base.random_branch_freq);
+      break;
+    default:
+      // index % 4 == 0 (workers 4, 8, ...): the base personality with a
+      // tighter reduce cadence and deeper minimization.
+      c.max_learnts_init = 512;
+      c.minimize_recursive = true;
+      break;
+  }
+  return c;
+}
+
+bool ClauseExchange::export_clause(int worker, std::span<const Lit> lits,
+                                   int lbd) {
+  (void)lbd;  // the exporter already filtered on glue
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  entries_.push_back({worker, Clause(lits.begin(), lits.end())});
+  return true;
+}
+
+void ClauseExchange::import_clauses(int worker, std::size_t* cursor,
+                                    std::vector<Clause>* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = *cursor; i < entries_.size(); ++i) {
+    if (entries_[i].worker == worker) continue;  // own export
+    out->push_back(entries_[i].lits);
+  }
+  *cursor = entries_.size();
+}
+
+std::size_t ClauseExchange::exported() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ClauseExchange::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+PortfolioSolver::PortfolioSolver(const Formula& formula, SolverConfig config)
+    : config_(config), master_(formula, config) {}
+
+bool PortfolioSolver::add_clause(Clause clause) {
+  return master_.add_clause(std::move(clause));
+}
+
+bool PortfolioSolver::add_pb(PbConstraint constraint) {
+  return master_.add_pb(std::move(constraint));
+}
+
+SolveResult PortfolioSolver::solve(const Deadline& deadline,
+                                   std::span<const Lit> assumptions) {
+  const int n = std::max(1, config_.portfolio_threads);
+  if (n == 1) {
+    const SolveResult r = master_.solve(deadline, assumptions);
+    stats_ = master_.stats();
+    if (r == SolveResult::Sat) model_ = master_.model();
+    last_winner_ = r == SolveResult::Unknown ? -1 : 0;
+    last_exported_ = last_dropped_ = 0;
+    return r;
+  }
+
+  const bool deterministic = config_.portfolio_deterministic;
+  ClauseExchange exchange(config_.portfolio_buffer);
+  std::atomic<bool> stop{false};
+  std::atomic<int> first_definitive{-1};
+
+  // Worker 0 is the master; 1..n-1 are diversified clones, rebuilt from
+  // the master's current state every solve so constraints added between
+  // calls (and clauses the master imported last round) carry over.
+  std::vector<std::unique_ptr<CdclSolver>> clones;
+  std::vector<CdclSolver*> workers;
+  workers.push_back(&master_);
+  clones.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    clones.push_back(std::make_unique<CdclSolver>(master_));
+    clones.back()->reconfigure(diversify_config(config_, i));
+    workers.push_back(clones.back().get());
+  }
+
+  std::vector<SolveResult> results(static_cast<std::size_t>(n),
+                                   SolveResult::Unknown);
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  const auto run = [&](int i) {
+    CdclSolver* worker = workers[static_cast<std::size_t>(i)];
+    try {
+      if (!deterministic) {
+        worker->set_sharing(&exchange, i);
+        worker->set_interrupt(&stop);
+      }
+      const SolveResult r = worker->solve(deadline, assumptions);
+      results[static_cast<std::size_t>(i)] = r;
+      if (!deterministic && r != SolveResult::Unknown) {
+        int expected = -1;
+        if (first_definitive.compare_exchange_strong(expected, i)) {
+          stop.store(true);  // cooperative: losers exit at the next poll
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+      stop.store(true);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  try {
+    for (int i = 0; i < n; ++i) threads.emplace_back(run, i);
+  } catch (...) {
+    // Thread creation failed (resource exhaustion): wave off the workers
+    // already racing and join them before unwinding — destroying a
+    // joinable std::thread would terminate the process.
+    stop.store(true);
+    for (std::thread& t : threads) t.join();
+    master_.set_sharing(nullptr, 0);
+    master_.set_interrupt(nullptr);
+    throw;
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The exchange and stop flag die with this frame; the master persists.
+  master_.set_sharing(nullptr, 0);
+  master_.set_interrupt(nullptr);
+  if (failure) std::rethrow_exception(failure);
+
+  // Winner selection: the race's first definitive finisher, or — in
+  // deterministic mode, where everyone ran to completion — the
+  // lowest-indexed definitive answer, which repeated runs reproduce.
+  int winner = -1;
+  if (deterministic) {
+    for (int i = 0; i < n; ++i) {
+      if (results[static_cast<std::size_t>(i)] != SolveResult::Unknown) {
+        winner = i;
+        break;
+      }
+    }
+  } else {
+    winner = first_definitive.load();
+  }
+
+  last_exported_ = exchange.exported();
+  last_dropped_ = exchange.dropped();
+  last_winner_ = winner;
+  if (winner < 0) {
+    stats_ = master_.stats();
+    return SolveResult::Unknown;  // deadline expired everywhere
+  }
+  const SolveResult answer = results[static_cast<std::size_t>(winner)];
+  // Workers solve one shared formula: definitive answers can only
+  // disagree through a soundness bug (e.g. an unsound import), so fail
+  // loudly instead of silently surfacing one of them.
+  for (int i = 0; i < n; ++i) {
+    const SolveResult r = results[static_cast<std::size_t>(i)];
+    if (r != SolveResult::Unknown && r != answer) {
+      throw std::logic_error("portfolio workers disagree on SAT/UNSAT");
+    }
+  }
+  CdclSolver* win = workers[static_cast<std::size_t>(winner)];
+  stats_ = win->stats();
+  if (answer == SolveResult::Sat) model_ = win->model();
+  return answer;
+}
+
+std::unique_ptr<SolverEngine> make_solver_engine(const Formula& formula,
+                                                 const SolverConfig& config) {
+  if (config.portfolio_threads <= 1) {
+    return std::make_unique<CdclSolver>(formula, config);
+  }
+  return std::make_unique<PortfolioSolver>(formula, config);
+}
+
+}  // namespace symcolor

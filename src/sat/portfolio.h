@@ -1,0 +1,147 @@
+#pragma once
+// Clone-based parallel portfolio over the CDCL engine.
+//
+// A PortfolioSolver owns ONE master CdclSolver that carries all
+// incremental state (constraints added between solves, learned clauses,
+// activities, saved phases). Each solve() with portfolio_threads = N > 1
+// spawns N racing workers on std::thread:
+//
+//   * worker 0 IS the master (so whatever it learns persists into the
+//     next query — the incremental-SAT behaviour callers rely on);
+//   * workers 1..N-1 are fresh clones of the master — the contiguous
+//     arena/pool storage makes a clone a handful of memcpys — each
+//     diversified along the classic portfolio axes: restart scheme
+//     (Luby / geometric / adaptive with trail blocking), polarity policy
+//     (saved phases vs. fixed positive branching), reduce cadence
+//     (DB-size vs. conflict-interval schedule), random-branching rate,
+//     and an RNG seed mixed from SolverConfig::random_seed and the
+//     worker index (identical clones must not explore identical trees).
+//
+// Workers exchange core-tier learnt clauses (glue <= share_max_lbd,
+// learnt units included) through a bounded, mutex-guarded ClauseExchange:
+// exports happen at learn time, imports are drained at restart
+// boundaries, where adding a foreign clause is an ordinary level-0
+// clause addition — the sharing architecture proven out in
+// CryptoMiniSat/ManySAT. The first worker to reach a definitive answer
+// wins: it flips the shared stop flag, the losers bail out at their next
+// deadline poll, and the winner's model/stats are surfaced.
+//
+// Determinism: portfolio_deterministic disables sharing and early
+// termination, runs every worker to completion, and crowns the
+// lowest-indexed definitive answer, so repeated runs reproduce the same
+// result and model (tests rely on this). Either way the ANSWER is exact:
+// sharing only moves logical consequences, so SAT/UNSAT never depends on
+// the thread count — only the wall-clock does.
+//
+// With portfolio_threads <= 1, solve() runs the master inline: no
+// threads, no exchange, no atomics — bit-for-bit the sequential engine.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sat/cdcl.h"
+#include "sat/solver_engine.h"
+
+namespace symcolor {
+
+/// Stir a worker index into the base RNG seed (SplitMix64 finalizer).
+/// Worker 0 keeps the base seed — it is the master itself; every other
+/// worker gets a decorrelated stream even when base seeds are small
+/// consecutive integers.
+[[nodiscard]] std::uint64_t mix_worker_seed(std::uint64_t base_seed,
+                                            int worker);
+
+/// Worker `index`'s diversified configuration (index 0 returns `base`
+/// unchanged). Cycles through four personalities that vary the restart
+/// scheme, phase policy, reduce cadence and random-branching rate, and
+/// always reseeds the RNG via mix_worker_seed.
+[[nodiscard]] SolverConfig diversify_config(const SolverConfig& base,
+                                            int index);
+
+/// Bounded, mutex-guarded clause pool: append-only entries tagged with
+/// the exporting worker; per-worker cursors make import a scan of the
+/// tail published since the caller last drained. Exports past `capacity`
+/// are counted and dropped (bounding both memory and import work).
+class ClauseExchange final : public ClauseSharing {
+ public:
+  explicit ClauseExchange(std::size_t capacity) : capacity_(capacity) {}
+
+  bool export_clause(int worker, std::span<const Lit> lits,
+                     int lbd) override;
+  void import_clauses(int worker, std::size_t* cursor,
+                      std::vector<Clause>* out) override;
+
+  [[nodiscard]] std::size_t exported() const;
+  [[nodiscard]] std::size_t dropped() const;
+
+ private:
+  struct Entry {
+    int worker;
+    Clause lits;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+/// SolverEngine implementation that races diversified clones of one
+/// master CdclSolver per solve() call. See the header comment for the
+/// architecture; see make_solver_engine for the usual way to obtain one.
+class PortfolioSolver final : public SolverEngine {
+ public:
+  PortfolioSolver(const Formula& formula, SolverConfig config);
+
+  bool add_clause(Clause clause) override;
+  bool add_pb(PbConstraint constraint) override;
+  SolveResult solve(const Deadline& deadline = {},
+                    std::span<const Lit> assumptions = {}) override;
+  [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
+    return model_;
+  }
+  /// Stats of the most recent winning worker (the losers' partial work
+  /// is reported through last_exchange_* below, not folded in here).
+  [[nodiscard]] const SolverStats& stats() const noexcept override {
+    return stats_;
+  }
+  [[nodiscard]] int num_vars() const noexcept override {
+    return master_.num_vars();
+  }
+  [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
+    return std::unique_ptr<SolverEngine>(new PortfolioSolver(*this));
+  }
+
+  // ---- race introspection (tests / benchmarks) ----
+  /// Index of the worker whose answer the last solve() surfaced; -1 when
+  /// no solve has completed or every worker returned Unknown.
+  [[nodiscard]] int last_winner() const noexcept { return last_winner_; }
+  /// Clause-exchange traffic of the last parallel solve().
+  [[nodiscard]] std::size_t last_exchange_exported() const noexcept {
+    return last_exported_;
+  }
+  [[nodiscard]] std::size_t last_exchange_dropped() const noexcept {
+    return last_dropped_;
+  }
+
+ private:
+  PortfolioSolver(const PortfolioSolver& other) = default;
+
+  SolverConfig config_;
+  CdclSolver master_;
+  std::vector<LBool> model_;
+  SolverStats stats_;
+  int last_winner_ = -1;
+  std::size_t last_exported_ = 0;
+  std::size_t last_dropped_ = 0;
+};
+
+/// Backend factory the whole pipeline funnels through: a plain CdclSolver
+/// when config.portfolio_threads <= 1 (zero parallel overhead on the
+/// 1-thread path), a PortfolioSolver otherwise.
+[[nodiscard]] std::unique_ptr<SolverEngine> make_solver_engine(
+    const Formula& formula, const SolverConfig& config);
+
+}  // namespace symcolor

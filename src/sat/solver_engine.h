@@ -1,0 +1,136 @@
+#pragma once
+// SolverEngine — the abstract backend interface of the solve pipeline.
+//
+// Every consumer of SAT/PB solving in this codebase (the 0-1 ILP
+// optimization loops in pb/optimizer, the incremental SAT-loop colorer in
+// coloring/cnf_coloring, the CLI) drives a solver exclusively through this
+// interface: add constraints, solve under assumptions, read the model and
+// stats, clone. The two implementations are
+//   * CdclSolver (sat/cdcl.h) — the sequential CDCL(+PB) engine, and
+//   * PortfolioSolver (sat/portfolio.h) — N diversified CdclSolver workers
+//     spawned by cloning one master, racing on threads with core-clause
+//     exchange.
+// make_solver_engine (sat/portfolio.h) picks between them from
+// SolverConfig::portfolio_threads, so a thread-count knob anywhere in the
+// pipeline swaps the whole backend without the caller changing shape.
+//
+// Design constraint: the interface is deliberately coarse — one virtual
+// call per solve/add, never per propagation or per conflict. The CDCL hot
+// path (propagate/analyze/backtrack) stays in non-virtual private members
+// of the concrete solver, so interposing this interface costs nothing
+// measurable on propagation throughput.
+//
+// ClauseSharing is the companion interface a portfolio passes to its
+// workers: export_clause() publishes a freshly learnt core-tier clause,
+// import_clauses() drains every clause published by other workers since
+// the caller's cursor. Workers call it only at learn time (exports are
+// throttled to glue clauses, LBD <= SolverConfig::share_max_lbd) and at
+// restart boundaries (imports happen at decision level 0, where a plain
+// level-0 clause addition is sound), so a mutex-guarded implementation is
+// uncontended in practice.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "cnf/literals.h"
+#include "util/timer.h"
+
+namespace symcolor {
+
+enum class SolveResult { Sat, Unsat, Unknown };
+
+struct SolverStats {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learned_clauses = 0;
+  std::int64_t learned_literals = 0;
+  std::int64_t minimized_literals = 0;
+  std::int64_t deleted_clauses = 0;
+  /// Arena garbage collections performed by reduce_db().
+  std::int64_t arena_collections = 0;
+  /// PB constraints skipped because slack >= max coefficient.
+  std::int64_t pb_short_circuits = 0;
+
+  // ---- LBD / tier activity ----
+  /// Sum of LBD values at learn time (lbd_sum / learned_clauses = mean glue).
+  std::int64_t lbd_sum = 0;
+  /// LBD improvements observed when re-touching learnt clauses in analysis.
+  std::int64_t tier_promotions = 0;
+  /// Mid-tier clauses demoted to the local pool for going unused between
+  /// consecutive reductions.
+  std::int64_t tier_demotions = 0;
+  /// Per-tier learnt-clause counts recorded by the most recent reduce_db().
+  std::int64_t tier_core = 0;
+  std::int64_t tier_mid = 0;
+  std::int64_t tier_local = 0;
+
+  // ---- restart-mode activity ----
+  /// Restarts triggered by the adaptive LBD-EMA condition (a subset of
+  /// `restarts`; the remainder followed the Luby/geometric schedule).
+  std::int64_t adaptive_restarts = 0;
+  /// Adaptive restarts suppressed by the Glucose-style trail-size blocking
+  /// heuristic (the worker looked close to a model).
+  std::int64_t blocked_restarts = 0;
+
+  // ---- portfolio clause exchange ----
+  /// Learnt clauses this solver published to its ClauseSharing sink.
+  std::int64_t exported_clauses = 0;
+  /// Clauses this solver absorbed from other portfolio workers.
+  std::int64_t imported_clauses = 0;
+};
+
+/// Shared clause pool between portfolio workers. Implementations must be
+/// safe to call from multiple worker threads concurrently.
+class ClauseSharing {
+ public:
+  virtual ~ClauseSharing() = default;
+  /// Publish a learnt clause (already minimized; lbd is its glue at learn
+  /// time). `worker` identifies the exporter so it can skip its own
+  /// clauses on import. Bounded implementations may drop the clause;
+  /// returns whether it was actually accepted into the pool.
+  virtual bool export_clause(int worker, std::span<const Lit> lits,
+                             int lbd) = 0;
+  /// Append every clause published since `*cursor` by a worker other than
+  /// `worker` to `out`, and advance the cursor past them.
+  virtual void import_clauses(int worker, std::size_t* cursor,
+                              std::vector<Clause>* out) = 0;
+};
+
+/// Abstract solve backend: incremental constraint addition, assumption
+/// solving, model/stats access, and cloning. See the header comment for
+/// the layering contract.
+class SolverEngine {
+ public:
+  virtual ~SolverEngine() = default;
+
+  /// Add a clause between solves (level-0 only). Returns false if the
+  /// addition makes the instance trivially unsat.
+  virtual bool add_clause(Clause clause) = 0;
+  /// Add a PB constraint between solves (level-0 only).
+  virtual bool add_pb(PbConstraint constraint) = 0;
+
+  /// Solve under optional assumptions. Returns Unknown on deadline or
+  /// budget exhaustion (or cooperative interruption). Can be called
+  /// repeatedly; learned state persists across calls.
+  virtual SolveResult solve(const Deadline& deadline = {},
+                            std::span<const Lit> assumptions = {}) = 0;
+
+  /// Complete model from the last Sat answer, indexed by variable.
+  [[nodiscard]] virtual const std::vector<LBool>& model() const noexcept = 0;
+
+  [[nodiscard]] virtual const SolverStats& stats() const noexcept = 0;
+  [[nodiscard]] virtual int num_vars() const noexcept = 0;
+
+  /// Deep copy of the full solver state — constraints, learned clauses,
+  /// activities, saved phases, trail prefix. Must only be called at a
+  /// quiescent point (between solve() calls). The clone is independent:
+  /// solving one never touches the other.
+  [[nodiscard]] virtual std::unique_ptr<SolverEngine> clone() const = 0;
+};
+
+}  // namespace symcolor

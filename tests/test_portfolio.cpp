@@ -1,0 +1,376 @@
+// Portfolio / SolverEngine tests: clone equivalence, deterministic-mode
+// reproducibility, core-clause import soundness on the queen/myciel
+// suite, 2-vs-1-thread agreement across the SAT-loop and PB optimizer
+// paths, restart blocking, the conflict-interval reduce schedule, and
+// per-worker seed mixing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cnf/formula.h"
+#include "coloring/cnf_coloring.h"
+#include "coloring/encoder.h"
+#include "graph/generators.h"
+#include "pb/optimizer.h"
+#include "pb/solver_profiles.h"
+#include "sat/portfolio.h"
+#include "util/rng.h"
+
+namespace symcolor {
+namespace {
+
+Formula pigeonhole_formula(int pigeons, int holes) {
+  Formula f;
+  std::vector<std::vector<Var>> in(static_cast<std::size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(f.new_var());
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) {
+      c.push_back(Lit::positive(in[static_cast<std::size_t>(p)]
+                                  [static_cast<std::size_t>(h)]));
+    }
+    f.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.add_clause({Lit::negative(in[static_cast<std::size_t>(p1)]
+                                      [static_cast<std::size_t>(h)]),
+                      Lit::negative(in[static_cast<std::size_t>(p2)]
+                                      [static_cast<std::size_t>(h)])});
+      }
+    }
+  }
+  return f;
+}
+
+/// queen5 K-colorability CNF (chi(queen5) = 5, so k=4 is UNSAT, k=5 SAT).
+Formula queen5_formula(int k) {
+  const Graph g = make_queen_graph(5, 5);
+  return encode_k_coloring(g, k, SbpOptions::nu_sc()).formula;
+}
+
+// ---- SolverEngine interface ----
+
+TEST(SolverEngineIface, FactoryPicksBackendByThreadCount) {
+  const Formula sat = queen5_formula(5);
+  const Formula unsat = queen5_formula(4);
+  for (const int threads : {1, 3}) {
+    SolverConfig config = profile_config(SolverKind::PbsII);
+    config.portfolio_threads = threads;
+    const std::unique_ptr<SolverEngine> a = make_solver_engine(sat, config);
+    EXPECT_EQ(a->solve(), SolveResult::Sat) << threads << " threads";
+    EXPECT_TRUE(sat.satisfied_by(a->model()));
+    const std::unique_ptr<SolverEngine> b = make_solver_engine(unsat, config);
+    EXPECT_EQ(b->solve(), SolveResult::Unsat) << threads << " threads";
+  }
+}
+
+TEST(SolverEngineIface, CloneThroughInterfaceIsIndependent) {
+  const Formula f = queen5_formula(5);
+  const std::unique_ptr<SolverEngine> master =
+      make_solver_engine(f, profile_config(SolverKind::PbsII));
+  const std::unique_ptr<SolverEngine> copy = master->clone();
+  EXPECT_EQ(master->solve(), SolveResult::Sat);
+  // Constraints added to the original never reach the earlier clone.
+  EXPECT_EQ(copy->num_vars(), master->num_vars());
+  EXPECT_EQ(copy->solve(), SolveResult::Sat);
+}
+
+// ---- clone equivalence ----
+
+TEST(SolverClone, ReproducesResultAndStatsOnFixedInstance) {
+  for (const int k : {4, 5}) {
+    const Formula f = queen5_formula(k);
+    const CdclSolver master(f, profile_config(SolverKind::PbsII));
+    CdclSolver clone(master);
+    CdclSolver reference(f, profile_config(SolverKind::PbsII));
+    const SolveResult rc = clone.solve();
+    const SolveResult rr = reference.solve();
+    EXPECT_EQ(rc, rr) << "k=" << k;
+    // Identical state + identical config => the clone must retrace the
+    // master's search step for step.
+    EXPECT_EQ(clone.stats().decisions, reference.stats().decisions);
+    EXPECT_EQ(clone.stats().conflicts, reference.stats().conflicts);
+    EXPECT_EQ(clone.stats().propagations, reference.stats().propagations);
+    EXPECT_EQ(clone.stats().restarts, reference.stats().restarts);
+    EXPECT_EQ(clone.stats().learned_clauses,
+              reference.stats().learned_clauses);
+    if (rc == SolveResult::Sat) {
+      EXPECT_EQ(clone.model(), reference.model());
+    }
+  }
+}
+
+TEST(SolverClone, MidSearchCloneCarriesLearnedState) {
+  SolverConfig budgeted = profile_config(SolverKind::PbsII);
+  budgeted.conflict_budget = 100;
+  CdclSolver master(pigeonhole_formula(7, 6), budgeted);
+  ASSERT_EQ(master.solve(), SolveResult::Unknown);  // budget must bite
+  ASSERT_GT(master.stats().learned_clauses, 0);
+
+  CdclSolver clone(master);
+  SolverConfig unlimited = budgeted;
+  unlimited.conflict_budget = 0;
+  master.reconfigure(unlimited);
+  clone.reconfigure(unlimited);
+  EXPECT_EQ(master.solve(), SolveResult::Unsat);
+  EXPECT_EQ(clone.solve(), SolveResult::Unsat);
+  // Same mid-search snapshot, same config: the continuations coincide.
+  EXPECT_EQ(master.stats().conflicts, clone.stats().conflicts);
+  EXPECT_EQ(master.stats().decisions, clone.stats().decisions);
+  EXPECT_EQ(master.stats().propagations, clone.stats().propagations);
+}
+
+// ---- portfolio determinism and soundness ----
+
+TEST(Portfolio, DeterministicModeIsReproducible) {
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 4;
+  config.portfolio_deterministic = true;
+  const Formula f = queen5_formula(5);
+
+  PortfolioSolver a(f, config);
+  PortfolioSolver b(f, config);
+  ASSERT_EQ(a.solve(), SolveResult::Sat);
+  ASSERT_EQ(b.solve(), SolveResult::Sat);
+  EXPECT_EQ(a.model(), b.model());
+  EXPECT_EQ(a.last_winner(), b.last_winner());
+
+  // The deterministic winner is the lowest-indexed definitive worker —
+  // the master — so the surfaced model matches the sequential engine's.
+  SolverConfig sequential = config;
+  sequential.portfolio_threads = 1;
+  CdclSolver reference(f, sequential);
+  ASSERT_EQ(reference.solve(), SolveResult::Sat);
+  EXPECT_EQ(a.last_winner(), 0);
+  EXPECT_EQ(a.model(), reference.model());
+}
+
+TEST(Portfolio, ImportSoundnessOnQueenMycielSuite) {
+  // Racing mode with clause sharing on: imported core clauses must never
+  // flip a SAT/UNSAT answer. chi(queen5) = 5, chi(myciel3) = 4.
+  struct Case {
+    Formula formula;
+    SolveResult expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({queen5_formula(4), SolveResult::Unsat});
+  cases.push_back({queen5_formula(5), SolveResult::Sat});
+  const Graph myciel = make_myciel_dimacs(3);
+  cases.push_back({encode_k_coloring(myciel, 3, SbpOptions::nu_sc()).formula,
+                   SolveResult::Unsat});
+  cases.push_back({encode_k_coloring(myciel, 4, SbpOptions::nu_sc()).formula,
+                   SolveResult::Sat});
+
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 4;
+  config.share_max_lbd = 3;  // share a little more than the default glue
+  for (const Case& c : cases) {
+    for (int round = 0; round < 3; ++round) {  // vary thread interleaving
+      PortfolioSolver solver(c.formula, config);
+      EXPECT_EQ(solver.solve(), c.expected) << "round " << round;
+      if (c.expected == SolveResult::Sat) {
+        EXPECT_TRUE(c.formula.satisfied_by(solver.model()));
+      }
+    }
+  }
+}
+
+TEST(Portfolio, IncrementalModelEnumerationMatchesSequential) {
+  // Enumerate all models of "exactly one of three vars" by repeatedly
+  // blocking the last model through the engine interface: the count must
+  // be 3 at any thread count, proving add_clause lands in the master and
+  // survives the parallel solves.
+  for (const int threads : {1, 2, 4}) {
+    Formula f;
+    const Var v0 = f.new_var();
+    const Var v1 = f.new_var();
+    const Var v2 = f.new_var();
+    f.add_exactly({Lit::positive(v0), Lit::positive(v1), Lit::positive(v2)},
+                  1);
+    SolverConfig config = profile_config(SolverKind::PbsII);
+    config.portfolio_threads = threads;
+    const std::unique_ptr<SolverEngine> engine = make_solver_engine(f, config);
+    int models = 0;
+    while (engine->solve() == SolveResult::Sat && models <= 4) {
+      ++models;
+      Clause block;
+      for (Var v = 0; v < engine->num_vars(); ++v) {
+        const LBool value = engine->model()[static_cast<std::size_t>(v)];
+        block.push_back(value == LBool::True ? Lit::negative(v)
+                                             : Lit::positive(v));
+      }
+      if (!engine->add_clause(std::move(block))) break;
+    }
+    EXPECT_EQ(models, 3) << threads << " threads";
+  }
+}
+
+// ---- 2-vs-1-thread agreement across the call layers ----
+
+TEST(Portfolio, SatLoopAgreesAcrossThreadCounts) {
+  const Graph g = make_myciel_dimacs(3);
+  for (const bool incremental : {false, true}) {
+    SatLoopOptions one;
+    one.incremental = incremental;
+    SatLoopOptions two = one;
+    two.portfolio_threads = 2;
+    const SatLoopResult r1 = solve_coloring_sat_loop(g, one);
+    const SatLoopResult r2 = solve_coloring_sat_loop(g, two);
+    ASSERT_EQ(r1.status, OptStatus::Optimal);
+    ASSERT_EQ(r2.status, OptStatus::Optimal);
+    EXPECT_EQ(r1.num_colors, 4);
+    EXPECT_EQ(r2.num_colors, r1.num_colors)
+        << (incremental ? "incremental" : "per-K rebuild");
+    EXPECT_TRUE(g.is_proper_coloring(r2.coloring));
+  }
+}
+
+TEST(Portfolio, OptimizerAgreesAcrossThreadCounts) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_coloring(g, 7, SbpOptions::nu_sc());
+  SolverConfig one = profile_config(SolverKind::PbsII);
+  SolverConfig two = one;
+  two.portfolio_threads = 2;
+
+  const OptResult l1 = minimize_linear(enc.formula, one, Deadline{});
+  const OptResult l2 = minimize_linear(enc.formula, two, Deadline{});
+  ASSERT_EQ(l1.status, OptStatus::Optimal);
+  ASSERT_EQ(l2.status, OptStatus::Optimal);
+  EXPECT_EQ(l1.best_value, 5);
+  EXPECT_EQ(l2.best_value, l1.best_value);
+
+  const OptResult b2 = minimize_binary(enc.formula, two, Deadline{});
+  ASSERT_EQ(b2.status, OptStatus::Optimal);
+  EXPECT_EQ(b2.best_value, l1.best_value);
+}
+
+// ---- restart blocking ----
+
+TEST(RestartBlocking, AnswersAgreeWithAndWithoutBlocking) {
+  for (const int k : {4, 5}) {
+    const Formula f = queen5_formula(k);
+    SolverConfig adaptive = profile_config(SolverKind::PbsII);
+    adaptive.restart_scheme = RestartScheme::Adaptive;
+    SolverConfig blocking = adaptive;
+    blocking.restart_blocking = true;
+    CdclSolver plain(f, adaptive);
+    CdclSolver blocked(f, blocking);
+    const SolveResult rp = plain.solve();
+    const SolveResult rb = blocked.solve();
+    ASSERT_NE(rp, SolveResult::Unknown);
+    EXPECT_EQ(rb, rp) << "k=" << k;
+    if (rb == SolveResult::Sat) EXPECT_TRUE(f.satisfied_by(blocked.model()));
+  }
+}
+
+TEST(RestartBlocking, HairTriggerMarginSuppressesAdaptiveRestarts) {
+  // margin 0 blocks every adaptive restart once the trail EMA is seeded,
+  // so the EMA condition that fires on this instance (see
+  // CdclRestarts.AdaptiveTriggersOnHighGlueBursts) must be converted
+  // into blocked restarts instead.
+  SolverConfig config;
+  config.restart_scheme = RestartScheme::Adaptive;
+  config.adaptive_min_conflicts = 8;
+  config.restart_margin = 1.0;
+  config.restart_blocking = true;
+  config.block_margin = 0.0;
+  CdclSolver solver(pigeonhole_formula(7, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GT(solver.stats().blocked_restarts, 0);
+  EXPECT_EQ(solver.stats().adaptive_restarts, 0);
+}
+
+TEST(RestartBlocking, OffByDefaultAndNeverCountedWhenOff) {
+  SolverConfig config;
+  EXPECT_FALSE(config.restart_blocking);
+  config.restart_scheme = RestartScheme::Adaptive;
+  CdclSolver solver(pigeonhole_formula(6, 5), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_EQ(solver.stats().blocked_restarts, 0);
+}
+
+// ---- conflict-interval reduce schedule ----
+
+TEST(ReduceInterval, SchedulesReductionsAndAgreesWithDbSize) {
+  const Formula f = pigeonhole_formula(7, 6);  // UNSAT: steady conflicts
+  SolverConfig interval = profile_config(SolverKind::PbsII);
+  interval.reduce_scheme = ReduceScheme::ConflictInterval;
+  interval.reduce_interval_base = 50;
+  interval.reduce_interval_inc = 25;
+  CdclSolver a(f, interval);
+  EXPECT_EQ(a.solve(), SolveResult::Unsat);
+  // reduce_db() snapshots the tier census every time it runs; a nonzero
+  // census on a >50-conflict search proves the schedule fired.
+  ASSERT_GT(a.stats().conflicts, 50);
+  EXPECT_GT(a.stats().tier_core + a.stats().tier_mid + a.stats().tier_local,
+            0);
+
+  CdclSolver b(f, profile_config(SolverKind::PbsII));
+  EXPECT_EQ(b.solve(), SolveResult::Unsat);
+}
+
+TEST(ReduceInterval, BacksOffLinearlyUnderChurn) {
+  // A tiny base with zero increment reduces roughly every 20 conflicts;
+  // a huge increment must reduce far fewer times on the same workload.
+  const Formula f = pigeonhole_formula(7, 6);
+  SolverConfig eager = profile_config(SolverKind::PbsII);
+  eager.reduce_scheme = ReduceScheme::ConflictInterval;
+  eager.reduce_interval_base = 20;
+  eager.reduce_interval_inc = 0;
+  SolverConfig lazy = eager;
+  lazy.reduce_interval_inc = 10000;
+  CdclSolver e(f, eager);
+  CdclSolver l(f, lazy);
+  EXPECT_EQ(e.solve(), SolveResult::Unsat);
+  EXPECT_EQ(l.solve(), SolveResult::Unsat);
+  EXPECT_GE(e.stats().deleted_clauses, l.stats().deleted_clauses);
+}
+
+// ---- per-worker seed mixing ----
+
+TEST(WorkerSeeds, MixingIsIdentityForMasterAndDistinctAcrossWorkers) {
+  const std::uint64_t base = 0x1B52;  // the PBS II profile seed
+  EXPECT_EQ(mix_worker_seed(base, 0), base);
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i <= 8; ++i) seeds.push_back(mix_worker_seed(base, i));
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+  // Small consecutive base seeds must not alias each other's streams.
+  EXPECT_NE(mix_worker_seed(1, 1), mix_worker_seed(2, 1));
+  EXPECT_NE(mix_worker_seed(1, 2), mix_worker_seed(2, 1));
+}
+
+TEST(WorkerSeeds, DiversifiedConfigsReseedAndVary) {
+  const SolverConfig base = profile_config(SolverKind::PbsII);
+  EXPECT_EQ(diversify_config(base, 0).random_seed, base.random_seed);
+  std::vector<std::uint64_t> seeds;
+  for (int i = 1; i <= 4; ++i) {
+    const SolverConfig c = diversify_config(base, i);
+    EXPECT_NE(c.random_seed, base.random_seed) << "worker " << i;
+    seeds.push_back(c.random_seed);
+  }
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]);
+    }
+  }
+  // The four personalities cover distinct restart/phase/reduce policies.
+  EXPECT_TRUE(diversify_config(base, 1).restart_blocking);
+  EXPECT_EQ(diversify_config(base, 2).reduce_scheme,
+            ReduceScheme::ConflictInterval);
+  EXPECT_FALSE(diversify_config(base, 3).phase_saving);
+  EXPECT_TRUE(diversify_config(base, 3).default_phase);
+}
+
+}  // namespace
+}  // namespace symcolor

@@ -8,6 +8,8 @@
 //   --sbp <row>     none | nu | ca | li | liq | sc | nu+sc  (default none)
 //   --shatter       add instance-dependent lex-leader SBPs
 //   --solver <s>    pbs | pbs2 | galena | pueblo | generic  (default pbs2)
+//   --threads <n>   racing portfolio workers per CDCL solve (default 1;
+//                   the answer is identical at any thread count)
 //   --timeout <s>   wall budget in seconds (default unlimited)
 //   --decision      K-colorability query instead of minimization
 //   --simplify      pre-solve simplification (units, pures, subsumption)
@@ -36,7 +38,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
-               "[--solver s] [--timeout sec]\n"
+               "[--solver s] [--threads n] [--timeout sec]\n"
                "                    [--decision] [--satloop] [--opb file] "
                "[--stats]\n"
                "                    (<graph.col> | --instance <name>)\n");
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   SbpOptions sbps;
   bool shatter_flow = false;
   SolverKind solver = SolverKind::PbsII;
+  int threads = 1;
   double timeout = 0.0;
   bool decision = false;
   bool satloop = false;
@@ -99,6 +102,10 @@ int main(int argc, char** argv) {
       const auto parsed = v != nullptr ? parse_solver(v) : std::nullopt;
       if (!parsed) { usage(); return 3; }
       solver = *parsed;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) { usage(); return 3; }
+      threads = std::atoi(v);
     } else if (arg == "--timeout") {
       const char* v = next();
       if (v == nullptr) { usage(); return 3; }
@@ -177,6 +184,7 @@ int main(int argc, char** argv) {
     SatLoopOptions options;
     options.sbps = sbps;
     options.time_budget_seconds = timeout;
+    options.portfolio_threads = threads;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
       std::printf("chromatic number: %d (%d SAT calls, %.3f s)\n",
@@ -192,6 +200,7 @@ int main(int argc, char** argv) {
   options.sbps = sbps;
   options.instance_dependent_sbps = shatter_flow;
   options.solver = solver;
+  options.threads = threads;
   options.time_budget_seconds = timeout;
   options.presimplify = presimplify;
   const ColoringOutcome r =
