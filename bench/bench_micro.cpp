@@ -121,6 +121,60 @@ void BM_CdclPbPropagationThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_CdclPbPropagationThroughput)->Arg(6)->Arg(7);
 
+// PB conflict-analysis throughput: pigeonhole PHP(9,8) with the per-hole
+// at-most-one rows kept as genuine PB constraints, so conflicts hammer the
+// PB analysis path, under both modes — Arg(0) = the classic clause-
+// weakening scheme (budgeted to a fixed 1500-conflict prefix of its ~19k-
+// conflict refutation), Arg(1) = native cutting planes (which refutes the
+// instance outright in a few dozen conflicts per iteration). conflicts/s
+// is the per-mode analysis throughput; the iteration count difference is
+// the strength separation itself.
+void BM_CdclPbConflictAnalysis(benchmark::State& state) {
+  const int holes = 8;
+  const int pigeons = holes + 1;
+  Formula f;
+  std::vector<std::vector<Var>> in(static_cast<std::size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(f.new_var());
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) {
+      c.push_back(Lit::positive(
+          in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    f.add_clause(std::move(c));
+  }
+  for (int h = 0; h < holes; ++h) {
+    std::vector<Lit> col;
+    for (int p = 0; p < pigeons; ++p) {
+      col.push_back(Lit::positive(
+          in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    f.add_at_most(col, 1);
+  }
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.pb_analysis =
+      state.range(0) == 0 ? PbAnalysis::Weaken : PbAnalysis::CuttingPlanes;
+  config.conflict_budget = 1500;
+  std::int64_t conflicts = 0;
+  std::int64_t resolutions = 0;
+  for (auto _ : state) {
+    CdclSolver solver(f, config);
+    benchmark::DoNotOptimize(solver.solve());
+    conflicts += solver.stats().conflicts;
+    resolutions += solver.stats().pb_resolutions;
+  }
+  state.counters["conflicts_per_sec"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+  state.counters["pb_resolutions_per_iter"] =
+      static_cast<double>(resolutions) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CdclPbConflictAnalysis)->Arg(0)->Arg(1);
+
 // Same queen decision workload under adaptive (LBD-EMA) restarts: tracks
 // the scheduling overhead and search-quality effect of the Glucose-style
 // scheme against the Luby default of BM_CdclQueenDecision.

@@ -1,9 +1,38 @@
 #include "cnf/pb_constraint.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <stdexcept>
 
 namespace symcolor {
+namespace {
+
+/// a + b with overflow rejection. Normalization arithmetic (per-variable
+/// merges, the negation shift, the coefficient sum) runs over caller-
+/// supplied 64-bit weights; silent wraparound here once flipped a
+/// satisfiable constraint into is_contradiction() == true, so any
+/// overflow rejects the construction instead.
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw std::overflow_error(
+        "PbConstraint: coefficient arithmetic exceeds int64 range");
+  }
+  return out;
+}
+
+/// -a with the one unrepresentable case (INT64_MIN) rejected — negating
+/// it is signed-overflow UB, not merely a wrong value.
+std::int64_t checked_neg(std::int64_t a) {
+  if (a == std::numeric_limits<std::int64_t>::min()) {
+    throw std::overflow_error(
+        "PbConstraint: coefficient arithmetic exceeds int64 range");
+  }
+  return -a;
+}
+
+}  // namespace
 
 PbConstraint PbConstraint::at_least(std::vector<PbTerm> terms,
                                     std::int64_t bound) {
@@ -17,27 +46,33 @@ PbConstraint PbConstraint::at_least(std::vector<PbTerm> terms,
 PbConstraint PbConstraint::at_most(std::vector<PbTerm> terms,
                                    std::int64_t bound) {
   // sum a_i l_i <= b  <=>  sum (-a_i) l_i >= -b
-  for (PbTerm& t : terms) t.coeff = -t.coeff;
-  return at_least(std::move(terms), -bound);
+  for (PbTerm& t : terms) t.coeff = checked_neg(t.coeff);
+  return at_least(std::move(terms), checked_neg(bound));
 }
 
 void PbConstraint::normalize() {
   // Step 1: merge per-variable contributions. Represent each variable's
   // net effect as coefficient-on-positive-literal plus a constant shift
-  // (from a*~x == a - a*x).
+  // (from a*~x == a - a*x). Every accumulation is overflow-checked: the
+  // solver's slack bookkeeping (and is_contradiction/is_tautology) relies
+  // on the normalized coefficients, bound and coefficient sum all being
+  // exact int64 values, so an input whose normal form cannot be
+  // represented is rejected at construction with std::overflow_error.
   std::map<Var, std::int64_t> positive_coeff;
   std::int64_t shift = 0;
   for (const PbTerm& t : terms_) {
     if (t.coeff == 0 || !t.lit.valid()) continue;
     if (t.lit.negated()) {
       // a*~x = a - a*x
-      shift += t.coeff;
-      positive_coeff[t.lit.var()] -= t.coeff;
+      shift = checked_add(shift, t.coeff);
+      std::int64_t& c = positive_coeff[t.lit.var()];
+      c = checked_add(c, checked_neg(t.coeff));
     } else {
-      positive_coeff[t.lit.var()] += t.coeff;
+      std::int64_t& c = positive_coeff[t.lit.var()];
+      c = checked_add(c, t.coeff);
     }
   }
-  bound_ -= shift;
+  bound_ = checked_add(bound_, checked_neg(shift));
 
   // Step 2: flip negative coefficients back onto negated literals.
   terms_.clear();
@@ -46,8 +81,9 @@ void PbConstraint::normalize() {
       terms_.push_back({coeff, Lit::positive(var)});
     } else if (coeff < 0) {
       // -a*x = a*~x - a
-      terms_.push_back({-coeff, Lit::negative(var)});
-      bound_ += -coeff;
+      const std::int64_t flipped = checked_neg(coeff);
+      terms_.push_back({flipped, Lit::negative(var)});
+      bound_ = checked_add(bound_, flipped);
     }
   }
 
@@ -64,7 +100,9 @@ void PbConstraint::normalize() {
   });
 
   coeff_sum_ = 0;
-  for (const PbTerm& t : terms_) coeff_sum_ += t.coeff;
+  for (const PbTerm& t : terms_) {
+    coeff_sum_ = checked_add(coeff_sum_, t.coeff);
+  }
 }
 
 bool PbConstraint::is_cardinality() const noexcept {

@@ -8,6 +8,13 @@
 // Duplicate/opposing literals are merged so each variable appears at most
 // once; this is the invariant every consumer (solver propagation, graph
 // construction for symmetry detection) relies on.
+//
+// Overflow policy: normalization arithmetic is checked. A constraint whose
+// normal form (any merged coefficient, the shifted bound, or the total
+// coefficient sum) does not fit in int64 is rejected at construction with
+// std::overflow_error rather than silently wrapping — downstream slack
+// bookkeeping in the CDCL engine depends on sum(coeffs) and bound being
+// exact, representable values.
 
 #include <cstdint>
 #include <ostream>
@@ -30,10 +37,12 @@ class PbConstraint {
   PbConstraint() = default;
 
   /// Build sum(terms) >= bound and normalize. Terms may carry negative or
-  /// duplicate coefficients; they are rewritten.
+  /// duplicate coefficients; they are rewritten. Throws std::overflow_error
+  /// when the normal form does not fit in int64 (see the header comment).
   static PbConstraint at_least(std::vector<PbTerm> terms, std::int64_t bound);
 
-  /// Build sum(terms) <= bound and normalize into the >= form.
+  /// Build sum(terms) <= bound and normalize into the >= form. Same
+  /// overflow policy as at_least.
   static PbConstraint at_most(std::vector<PbTerm> terms, std::int64_t bound);
 
   /// Terms in normalized form, sorted by descending coefficient then

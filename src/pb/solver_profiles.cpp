@@ -30,6 +30,9 @@ SolverConfig profile_config(SolverKind kind) {
       config.minimize_learned = true;
       config.random_branch_freq = 0.02;
       config.random_seed = 0x6A1E;
+      // Galena's defining feature: native pseudo-Boolean learning via
+      // cutting planes rather than weakening PB conflicts to clauses.
+      config.pb_analysis = PbAnalysis::CuttingPlanes;
       return config;
     case SolverKind::Pueblo:
       config.restart_scheme = RestartScheme::Luby;

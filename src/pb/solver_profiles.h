@@ -20,7 +20,8 @@ enum class SolverKind {
   PbsOriginal,  ///< PBS (ICCAD'02): conservative geometric restarts, no
                 ///< learned-clause minimization.
   PbsII,        ///< PBS II with PB learning: the reference configuration.
-  Galena,       ///< CARD-learning flavour: geometric restarts, stronger decay.
+  Galena,       ///< Cutting-planes PB learning: geometric restarts,
+                ///< stronger decay, PbAnalysis::CuttingPlanes.
   Pueblo,       ///< hybrid-learning flavour: aggressive Luby restarts.
   GenericIlp,   ///< CPLEX stand-in: see generic_ilp.h.
 };

@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "sat/luby.h"
 
 namespace symcolor {
+
+namespace {
+
+// Overflow-checked int64 arithmetic for cutting-planes resolution: any
+// overflow aborts the native analysis (the caller falls back to clause
+// weakening), so a resolvent can never silently wrap.
+inline bool add_ov(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+inline bool mul_ov(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+}  // namespace
 
 CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
     : config_(config), rng_(config.random_seed) {
@@ -17,6 +33,9 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
   order_.assign_scores(n, 0.0);
   polarity_.assign(n, config_.default_phase ? 1 : 0);
   seen_.assign(n, 0);
+  cp_coef_.assign(n, 0);
+  cp_lit_.assign(n, kUndefLit);
+  cp_in_.assign(n, 0);
   lbd_level_stamp_.assign(n + 1, 0);  // one slot per possible decision level
   watches_.init(2 * n);
   bin_watches_.init(2 * n);
@@ -138,24 +157,31 @@ ClauseRef CdclSolver::attach_clause(std::span<const Lit> lits, bool learnt) {
   return cref;
 }
 
-void CdclSolver::attach_pb(const PbConstraint& constraint) {
+std::uint32_t CdclSolver::attach_pb_row(std::span<const PbTerm> terms,
+                                        std::int64_t bound) {
   PbData data;
   data.terms_begin = static_cast<std::uint32_t>(pb_terms_.size());
-  data.terms_len = static_cast<std::uint32_t>(constraint.terms().size());
-  data.bound = constraint.bound();
+  data.terms_len = static_cast<std::uint32_t>(terms.size());
+  data.bound = bound;
+  // Terms arrive sorted by descending coefficient (PbConstraint invariant;
+  // analyze_pb's emit path upholds it for learned rows).
+  data.max_coeff = terms.empty() ? 0 : terms[0].coeff;
   const auto index = static_cast<std::uint32_t>(pbs_.size());
-  std::int64_t slack = -data.bound;
-  for (const PbTerm& t : constraint.terms()) {
+  std::int64_t slack = -bound;
+  for (const PbTerm& t : terms) {
     pb_terms_.push_back(t);
     pb_occs_.push(static_cast<std::size_t>(t.lit.code()), {index, t.coeff});
-    // Literals already false at level 0 contribute nothing to slack.
+    // Literals already false contribute nothing to slack.
     if (value(t.lit) != LBool::False) slack += t.coeff;
   }
   pb_occs_dirty_ = true;
   data.slack = slack;
-  // Terms arrive sorted by descending coefficient (PbConstraint invariant).
-  data.max_coeff = data.terms_len > 0 ? constraint.terms()[0].coeff : 0;
   pbs_.push_back(data);
+  return index;
+}
+
+void CdclSolver::attach_pb(const PbConstraint& constraint) {
+  attach_pb_row(constraint.terms(), constraint.bound());
 }
 
 void CdclSolver::enqueue(Lit l, Reason reason) {
@@ -385,6 +411,503 @@ void CdclSolver::analyze(Conflict conflict, std::vector<Lit>* learnt,
   for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = 0;
 }
 
+// ---- cutting-planes PB conflict analysis ----
+//
+// The resolvent invariant maintained throughout: the accumulator is a
+// valid consequence of the constraint database (modulo level-0 units) and
+// is CONFLICTING under the full current assignment (slack < 0). Each step
+// resolves it against the reason of the latest trail literal it contains,
+// with the reason weakened just enough that the coefficient-scaled sum is
+// guaranteed conflicting again (slack is subadditive under the scaled
+// addition). The walk stops as soon as the resolvent is assertive below
+// the current decision level — the PB generalization of 1UIP.
+
+bool CdclSolver::cp_load(Conflict conflict) {
+  for (const Var v : cp_vars_) {
+    cp_coef_[static_cast<std::size_t>(v)] = 0;
+    cp_in_[static_cast<std::size_t>(v)] = 0;
+  }
+  cp_vars_.clear();
+  cp_degree_ = 0;
+  const auto add = [&](std::int64_t a, Lit l) -> bool {
+    const auto v = static_cast<std::size_t>(l.var());
+    // Level-0 strengthening: a globally false literal drops outright (it
+    // is unit-implied away, degree unchanged), a globally true one drops
+    // with its weight paid off the degree. Exactly mirrors how add_clause
+    // simplifies against the level-0 assignment.
+    if (value(l.var()) != LBool::Undef && level(l.var()) == 0) {
+      if (value(l) == LBool::False) return true;
+      return !add_ov(cp_degree_, -a, &cp_degree_);
+    }
+    assert(!cp_in_[v]);
+    cp_in_[v] = 1;
+    cp_vars_.push_back(l.var());
+    cp_coef_[v] = a;
+    cp_lit_[v] = l;
+    return true;
+  };
+  if (conflict.kind == ReasonKind::ClauseRef) {
+    const std::uint32_t* codes = arena_.lit_codes(conflict.index);
+    const int size = arena_.size(conflict.index);
+    cp_degree_ = 1;
+    for (int i = 0; i < size; ++i) {
+      if (!add(1, Lit::from_code(static_cast<int>(codes[i])))) return false;
+    }
+  } else {
+    const PbData& pb = pbs_[conflict.index];
+    cp_degree_ = pb.bound;
+    for (const PbTerm& t : pb_terms(pb)) {
+      if (!add(t.coeff, t.lit)) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t CdclSolver::cp_slack_full() const {
+  __int128 s = -static_cast<__int128>(cp_degree_);
+  for (const Var v : cp_vars_) {
+    const std::int64_t a = cp_coef_[static_cast<std::size_t>(v)];
+    if (a != 0 && value(cp_lit_[static_cast<std::size_t>(v)]) != LBool::False) {
+      s += a;
+    }
+  }
+  // Saturating clamp: callers only branch on the sign and compare against
+  // single coefficients, and saturation errs toward extra weakening —
+  // never toward an unsound resolvent.
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  if (s > kMax) return kMax;
+  if (s < kMin) return kMin;
+  return static_cast<std::int64_t>(s);
+}
+
+bool CdclSolver::cp_assertive() const {
+  // Assertive below the current level L: with every level-L (and dummy
+  // assumption level) assignment undone, the resolvent either still
+  // conflicts or forces some literal not assigned below L. Terms false
+  // below L stay false; everything else — unassigned, true anywhere,
+  // false at L — counts as non-false, and the not-assigned-below-L subset
+  // are the propagation candidates.
+  const int L = decision_level();
+  __int128 slack = -static_cast<__int128>(cp_degree_);
+  std::int64_t maxcand = 0;
+  for (const Var v : cp_vars_) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int64_t a = cp_coef_[vi];
+    if (a == 0) continue;
+    const bool assigned_below = value(v) != LBool::Undef && level(v) < L;
+    if (assigned_below && value(cp_lit_[vi]) == LBool::False) continue;
+    slack += a;
+    if (!assigned_below) maxcand = std::max(maxcand, a);
+  }
+  return slack < 0 || static_cast<__int128>(maxcand) > slack;
+}
+
+bool CdclSolver::cp_saturate_and_divide() {
+  if (cp_degree_ <= 0) return false;
+  std::int64_t g = 0;
+  for (const Var v : cp_vars_) {
+    std::int64_t& a = cp_coef_[static_cast<std::size_t>(v)];
+    if (a == 0) continue;
+    if (a > cp_degree_) a = cp_degree_;  // saturation
+    g = std::gcd(g, a);
+  }
+  if (g <= 1) return true;  // g == 0: empty resolvent — caller decides
+  for (const Var v : cp_vars_) {
+    std::int64_t& a = cp_coef_[static_cast<std::size_t>(v)];
+    if (a != 0) a /= g;
+  }
+  // Chvátal-Gomory rounding: the bound divides rounding UP, which is the
+  // sound direction (the integer LHS cannot land strictly between).
+  cp_degree_ = cp_degree_ / g + (cp_degree_ % g != 0 ? 1 : 0);
+  return true;
+}
+
+bool CdclSolver::cp_weaken_nonfalse() {
+  for (const Var v : cp_vars_) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int64_t a = cp_coef_[vi];
+    if (a == 0 || value(cp_lit_[vi]) == LBool::False) continue;
+    // Weakening a non-false term (drop it, pay its weight off the degree)
+    // leaves the slack unchanged, so the resolvent stays conflicting.
+    cp_coef_[vi] = 0;
+    cp_degree_ -= a;
+  }
+  if (cp_degree_ <= 0) return false;
+  return cp_saturate_and_divide();
+}
+
+bool CdclSolver::cp_reduce_reason(Reason reason, Lit l, int pos_l) {
+  cp_reason_.clear();
+  cp_cands_.clear();
+  cp_reason_degree_ = 0;
+  std::int64_t coef_l = 0;
+  const auto load_term = [&](std::int64_t a, Lit t) -> bool {
+    if (t == l) {
+      coef_l = a;
+      return true;
+    }
+    const Var v = t.var();
+    if (value(v) != LBool::Undef && level(v) == 0) {
+      if (value(t) == LBool::False) return true;  // strengthen away
+      return !add_ov(cp_reason_degree_, -a, &cp_reason_degree_);
+    }
+    if (value(t) == LBool::False) {
+      if (vardata_[static_cast<std::size_t>(v)].trail_pos < pos_l) {
+        cp_reason_.push_back({a, t});  // falsified before l: keep
+        return true;
+      }
+      // Falsified AFTER l was propagated: weaken unconditionally, or the
+      // resolvent would gain a literal past the analysis walk's cursor
+      // and the walk could miss it. (Weakening a false term raises the
+      // reason's slack; the loop below re-establishes the guarantee.)
+      return !add_ov(cp_reason_degree_, -a, &cp_reason_degree_);
+    }
+    cp_cands_.push_back({a, t});  // non-false: optional weakening fodder
+    return true;
+  };
+  bool ok = true;
+  if (reason.kind == ReasonKind::ClauseRef) {
+    cp_reason_degree_ = 1;
+    const std::uint32_t* codes = arena_.lit_codes(reason.index);
+    const int size = arena_.size(reason.index);
+    for (int i = 0; ok && i < size; ++i) {
+      ok = load_term(1, Lit::from_code(static_cast<int>(codes[i])));
+    }
+  } else {
+    assert(reason.kind == ReasonKind::PbRef);
+    const PbData& pb = pbs_[reason.index];
+    cp_reason_degree_ = pb.bound;
+    for (const PbTerm& t : pb_terms(pb)) {
+      if (!(ok = load_term(t.coeff, t.lit))) break;
+    }
+  }
+  if (!ok || coef_l <= 0 || cp_reason_degree_ <= 0) return false;
+
+  // Weaken candidates (weakest coefficients first — they cost the least
+  // strength) until the planned resolvent is guaranteed conflicting:
+  // slack is subadditive under the scaled addition, so it suffices that
+  //   c1 * slack(resolvent) + c2 * slack(reason) < 0
+  // with c1 = coef_l/g, c2 = p/g the cancellation multipliers. Because a
+  // fully weakened reason (l plus only falsified-before-l literals,
+  // saturated) has slack <= 0, the loop always terminates in a state that
+  // satisfies the condition.
+  std::sort(cp_cands_.begin(), cp_cands_.end(),
+            [](const PbTerm& a, const PbTerm& b) { return a.coeff < b.coeff; });
+  const __int128 slack_c = cp_slack_full();  // < 0: analyze_pb's invariant
+  const std::int64_t p =
+      cp_coef_[static_cast<std::size_t>(l.var())];  // resolvent's ~l weight
+  std::size_t weakened = 0;
+  for (;;) {
+    // Saturate the reason at its current degree.
+    if (coef_l > cp_reason_degree_) coef_l = cp_reason_degree_;
+    for (PbTerm& t : cp_reason_) t.coeff = std::min(t.coeff, cp_reason_degree_);
+    __int128 slack_r =
+        static_cast<__int128>(coef_l) - static_cast<__int128>(cp_reason_degree_);
+    for (std::size_t i = weakened; i < cp_cands_.size(); ++i) {
+      cp_cands_[i].coeff = std::min(cp_cands_[i].coeff, cp_reason_degree_);
+      slack_r += cp_cands_[i].coeff;  // non-false terms all count
+    }
+    const std::int64_t g = std::gcd(p, coef_l);
+    const __int128 c1 = coef_l / g;
+    const __int128 c2 = p / g;
+    if (c1 * slack_c + c2 * slack_r < 0) break;
+    if (weakened == cp_cands_.size()) return false;  // unreachable; defensive
+    cp_reason_degree_ -= cp_cands_[weakened].coeff;
+    ++weakened;
+    if (cp_reason_degree_ <= 0) return false;  // degenerated to tautology
+  }
+  // Emit: l's own term first (analyze_pb reads the coefficient there),
+  // then the kept falsified terms and the surviving candidates.
+  cp_reason_.insert(cp_reason_.begin(), {coef_l, l});
+  cp_reason_.insert(cp_reason_.end(), cp_cands_.begin() + weakened,
+                    cp_cands_.end());
+  return true;
+}
+
+int CdclSolver::cp_backjump_level() {
+  // The lowest level b < L at which the resolvent still conflicts or
+  // propagates. slack_b counts every term not falsified at levels <= b
+  // (unassigned terms and terms assigned above b revert to non-false
+  // after backtracking); propagation candidates at b are exactly the
+  // terms not assigned at or below b.
+  const int L = decision_level();
+  std::vector<BjEnt>& ents = cp_bj_ents_;
+  ents.clear();
+  __int128 total = 0;
+  std::int64_t unassigned_max = 0;
+  for (const Var v : cp_vars_) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int64_t a = cp_coef_[vi];
+    if (a == 0) continue;
+    total += a;
+    if (value(v) == LBool::Undef) {
+      unassigned_max = std::max(unassigned_max, a);
+      continue;
+    }
+    ents.push_back({level(v), a, value(cp_lit_[vi]) == LBool::False});
+  }
+  std::sort(ents.begin(), ents.end(),
+            [](const BjEnt& a, const BjEnt& b) { return a.lvl < b.lvl; });
+  std::vector<std::int64_t>& suffix_max = cp_bj_suffix_;
+  suffix_max.assign(ents.size() + 1, 0);
+  for (std::size_t i = ents.size(); i-- > 0;) {
+    suffix_max[i] = std::max(suffix_max[i + 1], ents[i].coeff);
+  }
+  __int128 false_below = 0;
+  std::size_t i = 0;
+  for (int b = 0; b < L; ++b) {
+    while (i < ents.size() && ents[i].lvl <= b) {
+      if (ents[i].falsified) false_below += ents[i].coeff;
+      ++i;
+    }
+    const __int128 slack_b =
+        total - false_below - static_cast<__int128>(cp_degree_);
+    const std::int64_t cand = std::max(unassigned_max, suffix_max[i]);
+    if (slack_b < 0 || static_cast<__int128>(cand) > slack_b) return b;
+  }
+  // cp_assertive() held, so b = L-1 must have fired; keep a sane answer.
+  return L - 1;
+}
+
+CdclSolver::PbOutcome CdclSolver::analyze_pb(Conflict conflict,
+                                             PbLearned* out) {
+  if (!cp_load(conflict)) return PbOutcome::Fallback;
+  if (cp_degree_ <= 0 || !cp_saturate_and_divide()) return PbOutcome::Fallback;
+  if (conflict.kind == ReasonKind::PbRef) bump_pb(conflict.index);
+  if (cp_slack_full() >= 0) return PbOutcome::Fallback;  // defensive
+
+  int i = static_cast<int>(trail_.size()) - 1;
+  int steps = 0;
+  while (!cp_assertive()) {
+    // Latest trail literal the resolvent depends on (its negation carries
+    // a nonzero coefficient).
+    while (i >= 0) {
+      const auto vi =
+          static_cast<std::size_t>(trail_[static_cast<std::size_t>(i)].var());
+      if (cp_coef_[vi] != 0 &&
+          cp_lit_[vi] == ~trail_[static_cast<std::size_t>(i)]) {
+        break;
+      }
+      --i;
+    }
+    if (i < 0) return PbOutcome::Fallback;  // defensive: nothing to resolve
+    const Lit l = trail_[static_cast<std::size_t>(i)];
+    const auto lv = static_cast<std::size_t>(l.var());
+    const Reason r = vardata_[lv].reason;
+    if (r.kind == ReasonKind::None) {
+      // A decision (or assumption pseudo-decision) has no reason to
+      // resolve with. Weakening every non-false term out of the resolvent
+      // preserves the conflict; if even that does not make it assertive,
+      // hand the conflict to the clausal path.
+      if (!cp_weaken_nonfalse()) return PbOutcome::Fallback;
+      if (cp_assertive()) break;
+      return PbOutcome::Fallback;
+    }
+    if (++steps > config_.pb_max_resolutions) return PbOutcome::Fallback;
+    bump_var(l.var());
+    if (r.kind == ReasonKind::ClauseRef) {
+      bump_clause(r.index);
+      touch_learnt(r.index);
+    } else {
+      bump_pb(r.index);
+    }
+    if (!cp_reduce_reason(r, l, i)) return PbOutcome::Fallback;
+
+    // Resolve: cp := c1*cp + c2*reason', cancelling var(l). All stored
+    // arithmetic is overflow-checked int64; gcd division and saturation
+    // right after keep the coefficients from compounding.
+    const std::int64_t p = cp_coef_[lv];
+    const std::int64_t q = cp_reason_[0].coeff;  // l's own coefficient
+    const std::int64_t g = std::gcd(p, q);
+    const std::int64_t c1 = q / g;
+    const std::int64_t c2 = p / g;
+    if (c1 > 1) {
+      for (const Var v : cp_vars_) {
+        std::int64_t& a = cp_coef_[static_cast<std::size_t>(v)];
+        if (a != 0 && mul_ov(a, c1, &a)) return PbOutcome::Fallback;
+      }
+      if (mul_ov(cp_degree_, c1, &cp_degree_)) return PbOutcome::Fallback;
+    }
+    std::int64_t scaled_degree = 0;
+    if (mul_ov(cp_reason_degree_, c2, &scaled_degree) ||
+        add_ov(cp_degree_, scaled_degree, &cp_degree_)) {
+      return PbOutcome::Fallback;
+    }
+    for (const PbTerm& t : cp_reason_) {
+      std::int64_t a2 = 0;
+      if (mul_ov(t.coeff, c2, &a2)) return PbOutcome::Fallback;
+      const auto vi = static_cast<std::size_t>(t.lit.var());
+      if (cp_coef_[vi] == 0) {
+        if (!cp_in_[vi]) {
+          cp_in_[vi] = 1;
+          cp_vars_.push_back(t.lit.var());
+        }
+        cp_coef_[vi] = a2;
+        cp_lit_[vi] = t.lit;
+      } else if (cp_lit_[vi] == t.lit) {
+        if (add_ov(cp_coef_[vi], a2, &cp_coef_[vi])) return PbOutcome::Fallback;
+      } else {
+        // Opposite literals: a*x + b*~x = min(a,b) + |a-b|*(majority side),
+        // so the degree pays min(a,b) and the difference stays.
+        const std::int64_t m = std::min(cp_coef_[vi], a2);
+        cp_degree_ -= m;
+        if (cp_coef_[vi] == a2) {
+          cp_coef_[vi] = 0;
+        } else if (cp_coef_[vi] > a2) {
+          cp_coef_[vi] -= a2;
+        } else {
+          cp_coef_[vi] = a2 - cp_coef_[vi];
+          cp_lit_[vi] = t.lit;
+        }
+      }
+    }
+    assert(cp_coef_[lv] == 0);  // exact cancellation of the pivot
+    if (cp_degree_ <= 0 || !cp_saturate_and_divide()) {
+      return PbOutcome::Fallback;
+    }
+    assert(cp_slack_full() < 0);
+    ++stats_.pb_resolutions;
+    --i;
+  }
+
+  // Emit the assertive resolvent.
+  bool empty = true;
+  for (const Var v : cp_vars_) {
+    if (cp_coef_[static_cast<std::size_t>(v)] != 0) {
+      empty = false;
+      break;
+    }
+  }
+  if (empty) return PbOutcome::Unsat;  // 0 >= degree > 0: level-0 conflict
+
+  // Glue equivalent: distinct decision levels among the falsified terms.
+  ++lbd_stamp_;
+  int glue = 0;
+  for (const Var v : cp_vars_) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (cp_coef_[vi] == 0 || value(cp_lit_[vi]) != LBool::False) continue;
+    const int lvl = level(v);
+    if (lvl <= 0) continue;
+    auto& stamp = lbd_level_stamp_[static_cast<std::size_t>(lvl)];
+    if (stamp != lbd_stamp_) {
+      stamp = lbd_stamp_;
+      ++glue;
+    }
+  }
+  out->glue = std::max(glue, 1);
+  out->backjump = cp_backjump_level();
+  if (cp_degree_ == 1) {
+    // Saturation left every coefficient at 1: the resolvent IS a clause.
+    out->is_clause = true;
+    out->clause.clear();
+    for (const Var v : cp_vars_) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (cp_coef_[vi] != 0) out->clause.push_back(cp_lit_[vi]);
+    }
+  } else {
+    out->is_clause = false;
+    out->terms.clear();
+    for (const Var v : cp_vars_) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (cp_coef_[vi] != 0) out->terms.push_back({cp_coef_[vi], cp_lit_[vi]});
+    }
+    std::sort(out->terms.begin(), out->terms.end(),
+              [](const PbTerm& a, const PbTerm& b) {
+                if (a.coeff != b.coeff) return a.coeff > b.coeff;
+                return a.lit.code() < b.lit.code();
+              });
+    out->degree = cp_degree_;
+  }
+  return PbOutcome::Learned;
+}
+
+std::uint32_t CdclSolver::attach_learned_pb(std::span<const PbTerm> terms,
+                                            std::int64_t degree, int glue) {
+  assert(!terms.empty());
+  const std::uint32_t index = attach_pb_row(terms, degree);
+  PbData& pb = pbs_[index];
+  pb.activity = static_cast<float>(pb_inc_);
+  pb.lbd = static_cast<std::uint8_t>(std::min(glue, 255));
+  pb.flags = kPbLearnt | kPbUsed;
+  ++learnt_count_;
+  ++stats_.learned_pbs;
+  return index;
+}
+
+void CdclSolver::reduce_learned_pbs() {
+  if (stats_.learned_pbs == stats_.deleted_pbs) return;  // no learnt rows
+  // Rows serving as trail reasons are locked (their slack history is part
+  // of the implication graph the next analyses will walk).
+  std::vector<char> locked(pbs_.size(), 0);
+  for (const Lit l : trail_) {
+    const Reason& r = vardata_[static_cast<std::size_t>(l.var())].reason;
+    if (r.kind == ReasonKind::PbRef) locked[r.index] = 1;
+  }
+  // Same tier policy as the clause DB: core glue is immortal, mid glue
+  // survives while used since the previous reduction, the rest is sorted
+  // by activity and the colder half dropped.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t idx = 0; idx < pbs_.size(); ++idx) {
+    PbData& pb = pbs_[idx];
+    if (!(pb.flags & kPbLearnt)) continue;
+    if (pb.lbd <= config_.tier_core_lbd) continue;
+    if (pb.lbd <= config_.tier_mid_lbd) {
+      if ((pb.flags & kPbUsed) || locked[idx]) {
+        pb.flags &= ~kPbUsed;
+        continue;
+      }
+      ++stats_.tier_demotions;
+    } else if (locked[idx]) {
+      pb.flags &= ~kPbUsed;
+      continue;
+    }
+    pb.flags &= ~kPbUsed;
+    candidates.push_back(idx);
+  }
+  const std::size_t drop = candidates.size() / 2;
+  if (drop == 0) return;
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return pbs_[a].activity < pbs_[b].activity;
+            });
+  for (std::size_t k = 0; k < drop; ++k) {
+    pbs_[candidates[k]].flags |= kPbDeleted;
+    ++stats_.deleted_pbs;
+    --learnt_count_;
+  }
+  // Compact rows, the shared term pool and the occurrence lists, then
+  // remap trail reasons — the PB analog of garbage_collect(). Cached
+  // slacks move with their rows; incremental maintenance carries on.
+  constexpr std::uint32_t kDead = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> old2new(pbs_.size(), kDead);
+  std::vector<PbData> fresh;
+  fresh.reserve(pbs_.size() - drop);
+  std::vector<PbTerm> fresh_terms;
+  fresh_terms.reserve(pb_terms_.size());
+  for (std::uint32_t idx = 0; idx < pbs_.size(); ++idx) {
+    const PbData& pb = pbs_[idx];
+    if (pb.flags & kPbDeleted) continue;
+    old2new[idx] = static_cast<std::uint32_t>(fresh.size());
+    PbData moved = pb;
+    moved.terms_begin = static_cast<std::uint32_t>(fresh_terms.size());
+    const PbTerm* src = pb_terms_.data() + pb.terms_begin;
+    fresh_terms.insert(fresh_terms.end(), src, src + pb.terms_len);
+    fresh.push_back(moved);
+  }
+  pbs_ = std::move(fresh);
+  pb_terms_ = std::move(fresh_terms);
+  pb_occs_.rebuild([&](std::size_t, PbOcc& occ) {
+    if (old2new[occ.pb_index] == kDead) return false;
+    occ.pb_index = old2new[occ.pb_index];
+    return true;
+  });
+  for (const Lit l : trail_) {
+    Reason& r = vardata_[static_cast<std::size_t>(l.var())].reason;
+    if (r.kind == ReasonKind::PbRef) r.index = old2new[r.index];
+  }
+}
+
 bool CdclSolver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
   redundant_stack_.clear();
   redundant_stack_.push_back(p);
@@ -535,6 +1058,20 @@ void CdclSolver::bump_clause(ClauseRef cref) {
 void CdclSolver::decay_activities() {
   var_inc_ /= config_.var_decay;
   clause_inc_ /= config_.clause_decay;
+  pb_inc_ /= config_.clause_decay;
+}
+
+void CdclSolver::bump_pb(std::uint32_t pb_index) {
+  PbData& pb = pbs_[pb_index];
+  if (!(pb.flags & kPbLearnt)) return;
+  pb.flags |= kPbUsed;
+  pb.activity += static_cast<float>(pb_inc_);
+  if (pb.activity > 1e20f) {
+    for (PbData& other : pbs_) {
+      if (other.flags & kPbLearnt) other.activity *= 1e-20f;
+    }
+    pb_inc_ *= 1e-20;
+  }
 }
 
 int CdclSolver::compute_clause_lbd(ClauseRef cref) {
@@ -588,8 +1125,31 @@ void CdclSolver::update_restart_emas(int lbd) {
   lbd_ema_slow_ += config_.restart_ema_slow * (x - lbd_ema_slow_);
 }
 
+void CdclSolver::maybe_block_restart(std::int64_t conflicts_this_restart) {
+  // Glucose-style restart blocking, evaluated AT the conflict (the trail
+  // is still at conflict depth here — both sides of the comparison see
+  // conflict-time sizes): when a restart is pending on the LBD-EMA
+  // condition but this conflict's trail runs much deeper than conflicts
+  // typically do, the search is plausibly filling in a model — defuse the
+  // pending restart by pulling the fast EMA back to the long-run mean
+  // instead of restarting.
+  if (config_.restart_scheme != RestartScheme::Adaptive ||
+      !config_.restart_blocking || !trail_ema_seeded_ || !lbd_ema_seeded_ ||
+      conflicts_this_restart < config_.adaptive_min_conflicts) {
+    return;
+  }
+  if (lbd_ema_fast_ > config_.restart_margin * lbd_ema_slow_ &&
+      static_cast<double>(trail_.size()) > config_.block_margin * trail_ema_) {
+    ++stats_.blocked_restarts;
+    lbd_ema_fast_ = lbd_ema_slow_;
+  }
+}
+
 void CdclSolver::maybe_export(std::span<const Lit> learnt, int lbd) {
-  if (hooks_.sharing == nullptr || lbd > config_.share_max_lbd) return;
+  if (hooks_.sharing == nullptr || lbd > config_.share_max_lbd ||
+      learnt.size() > static_cast<std::size_t>(config_.share_max_size)) {
+    return;
+  }
   // Only count clauses the (bounded) exchange actually accepted.
   if (hooks_.sharing->export_clause(hooks_.worker_id, learnt, lbd)) {
     ++stats_.exported_clauses;
@@ -601,15 +1161,27 @@ bool CdclSolver::drain_imports() {
   import_buf_.clear();
   hooks_.sharing->import_clauses(hooks_.worker_id, &hooks_.import_cursor,
                                  &import_buf_);
-  for (Clause& c : import_buf_) {
+  for (SharedClause& sc : import_buf_) {
+    // Importer-side admission control: the exporter filtered on ITS caps,
+    // which (after reconfigure-based diversification) need not match ours.
+    // Re-check glue and size against this solver's thresholds and count
+    // what gets turned away.
+    if (sc.lbd > config_.share_max_lbd ||
+        sc.lits.size() > static_cast<std::size_t>(config_.share_max_size)) {
+      ++stats_.rejected_imports;
+      continue;
+    }
     ++stats_.imported_clauses;
     // Learnt clauses are consequences of the shared formula (conflict
     // analysis never resolves on assumption pseudo-decisions), so a
     // foreign clause is added exactly like a problem clause: simplified
-    // against the level-0 assignment, unit-propagated if forcing. Glue
-    // imports would be core-tier anyway, so attaching them as permanent
-    // clauses loses nothing to reduce_db().
-    if (!add_clause(std::move(c))) return false;
+    // against the level-0 assignment, unit-propagated if forcing — and a
+    // clause that is empty or all-false under the level-0 assignment
+    // derives level-0 unsatisfiability (add_clause clears ok_), which the
+    // `false` return surfaces to solve() instead of silently attaching a
+    // falsified record. Glue imports would be core-tier anyway, so
+    // attaching them as permanent clauses loses nothing to reduce_db().
+    if (!add_clause(std::move(sc.lits))) return false;
   }
   return true;
 }
@@ -665,13 +1237,17 @@ void CdclSolver::reduce_db() {
   stats_.tier_mid = mid;
   stats_.tier_local = local_locked +
                       static_cast<std::int64_t>(candidates.size() - drop);
-  if (drop == 0) return;  // nothing to compact; skip the arena copy
-  for (std::size_t i = 0; i < drop; ++i) {
-    arena_.set_deleted(candidates[i]);
-    --learnt_count_;
-    ++stats_.deleted_clauses;
+  if (drop > 0) {  // nothing to compact otherwise; skip the arena copy
+    for (std::size_t i = 0; i < drop; ++i) {
+      arena_.set_deleted(candidates[i]);
+      --learnt_count_;
+      ++stats_.deleted_clauses;
+    }
+    garbage_collect();
   }
-  garbage_collect();
+  // Learned PB constraints go through the same tier policy against their
+  // own storage (rows + term pool + occurrence lists).
+  reduce_learned_pbs();
 }
 
 void CdclSolver::garbage_collect() {
@@ -749,6 +1325,7 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
   const bool adaptive = config_.restart_scheme == RestartScheme::Adaptive;
   std::int64_t restart_number = 0;
   std::vector<Lit> learnt;
+  PbLearned pl;  // analyze_pb output, hoisted like `learnt` (vector reuse)
   const std::int64_t conflict_budget = config_.conflict_budget;
   const std::int64_t start_conflicts = stats_.conflicts;
 
@@ -789,59 +1366,140 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         backtrack(0);
         return SolveResult::Unknown;
       }
-      const Conflict conflict = propagate();
+      Conflict conflict = propagate();
       if (conflict.valid()) {
-        ++stats_.conflicts;
-        ++conflicts_this_restart;
-        if (decision_level() == 0) {
-          ok_ = false;
-          return SolveResult::Unsat;
-        }
-        int backjump = 0;
-        int lbd = 1;
-        // Sample the conflict-time trail size into the blocking EMA
-        // before analysis backtracks it away.
-        if (config_.restart_blocking) {
-          const auto trail_size = static_cast<double>(trail_.size());
-          if (!trail_ema_seeded_) {
-            trail_ema_ = trail_size;
-            trail_ema_seeded_ = true;
-          } else {
-            trail_ema_ += config_.block_ema * (trail_size - trail_ema_);
+        // Native PB learning can leave the learned constraint conflicting
+        // again at the backjump level; each round of this loop handles one
+        // conflict, and a re-conflict re-enters at a strictly lower
+        // decision level (so the loop is bounded by the level).
+        for (bool reconflict = true; reconflict;) {
+          reconflict = false;
+          ++stats_.conflicts;
+          ++conflicts_this_restart;
+          if (decision_level() == 0) {
+            ok_ = false;
+            return SolveResult::Unsat;
           }
+          // Sample the conflict-time trail size into the blocking EMA
+          // before analysis backtracks it away.
+          if (config_.restart_blocking) {
+            const auto trail_size = static_cast<double>(trail_.size());
+            if (!trail_ema_seeded_) {
+              trail_ema_ = trail_size;
+              trail_ema_seeded_ = true;
+            } else {
+              trail_ema_ += config_.block_ema * (trail_size - trail_ema_);
+            }
+          }
+          bool handled = false;
+          if (config_.pb_analysis == PbAnalysis::CuttingPlanes &&
+              conflict.kind == ReasonKind::PbRef) {
+            // Galena-style native PB conflict analysis. Fallback keeps
+            // `conflict` untouched, so the clausal path below still sees
+            // the original conflicting constraint.
+            switch (analyze_pb(conflict, &pl)) {
+              case PbOutcome::Unsat:
+                ok_ = false;
+                return SolveResult::Unsat;
+              case PbOutcome::Fallback:
+                ++stats_.pb_fallbacks;
+                break;
+              case PbOutcome::Learned: {
+                handled = true;
+                stats_.lbd_sum += pl.glue;
+                update_restart_emas(pl.glue);
+                maybe_block_restart(conflicts_this_restart);
+                if (pl.is_clause) maybe_export(pl.clause, pl.glue);
+                backtrack(pl.backjump);
+                if (pl.is_clause && pl.clause.size() == 1) {
+                  // Asserting unit: the backjump level is 0 by
+                  // construction (a unit propagates at every level).
+                  enqueue(pl.clause[0], {ReasonKind::None, kInvalidClauseRef});
+                } else if (pl.is_clause) {
+                  // Watcher discipline: slot 0 gets the asserting (still
+                  // unassigned) literal, slot 1 the highest-level
+                  // falsified one — the same shape analyze() emits.
+                  std::size_t undef_idx = pl.clause.size();
+                  for (std::size_t k = 0; k < pl.clause.size(); ++k) {
+                    if (value(pl.clause[k]) == LBool::Undef) {
+                      undef_idx = k;
+                      break;
+                    }
+                  }
+                  if (undef_idx == pl.clause.size()) {
+                    // Every literal is false at the backjump level (the
+                    // resolvent conflicts rather than propagates there).
+                    // A watched-clause attach would break the watcher
+                    // invariant mid-conflict, so store it as a degree-1
+                    // PB row — occurrence lists and cached slack are
+                    // consistent in any assignment state — and loop on
+                    // the fresh conflict.
+                    pl.terms.clear();
+                    for (const Lit cl : pl.clause) pl.terms.push_back({1, cl});
+                    const std::uint32_t idx =
+                        attach_learned_pb(pl.terms, 1, pl.glue);
+                    conflict = {ReasonKind::PbRef, idx};
+                    reconflict = true;
+                  } else {
+                    std::swap(pl.clause[0], pl.clause[undef_idx]);
+                    std::size_t max_idx = 1;
+                    for (std::size_t k = 1; k < pl.clause.size(); ++k) {
+                      if (level(pl.clause[k].var()) >
+                          level(pl.clause[max_idx].var())) {
+                        max_idx = k;
+                      }
+                    }
+                    std::swap(pl.clause[1], pl.clause[max_idx]);
+                    const ClauseRef cref =
+                        attach_clause(pl.clause, /*learnt=*/true);
+                    arena_.set_lbd(cref, pl.glue);
+                    bump_clause(cref);
+                    ++learnt_count_;
+                    ++stats_.learned_clauses;
+                    enqueue(pl.clause[0], {ReasonKind::ClauseRef, cref});
+                  }
+                } else {
+                  const std::uint32_t idx =
+                      attach_learned_pb(pl.terms, pl.degree, pl.glue);
+                  const std::int64_t slack = pbs_[idx].slack;
+                  if (slack < 0) {
+                    conflict = {ReasonKind::PbRef, idx};
+                    reconflict = true;
+                  } else {
+                    for (const PbTerm& t : pb_terms(pbs_[idx])) {
+                      if (t.coeff <= slack) break;  // sorted by desc coeff
+                      if (value(t.lit) == LBool::Undef) {
+                        enqueue(t.lit, {ReasonKind::PbRef, idx});
+                      }
+                    }
+                  }
+                }
+                break;
+              }
+            }
+          }
+          if (!handled) {
+            int backjump = 0;
+            int lbd = 1;
+            analyze(conflict, &learnt, &backjump, &lbd);
+            stats_.lbd_sum += lbd;
+            update_restart_emas(lbd);
+            maybe_block_restart(conflicts_this_restart);
+            maybe_export(learnt, lbd);
+            backtrack(backjump);
+            if (learnt.size() == 1) {
+              enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
+            } else {
+              const ClauseRef cref = attach_clause(learnt, /*learnt=*/true);
+              arena_.set_lbd(cref, lbd);
+              bump_clause(cref);
+              enqueue(learnt[0], {ReasonKind::ClauseRef, cref});
+              ++learnt_count_;
+              ++stats_.learned_clauses;
+            }
+          }
+          decay_activities();
         }
-        analyze(conflict, &learnt, &backjump, &lbd);
-        stats_.lbd_sum += lbd;
-        update_restart_emas(lbd);
-        // Glucose-style restart blocking, evaluated AT the conflict (the
-        // trail is still at conflict depth here — both sides of the
-        // comparison see conflict-time sizes): when a restart is pending
-        // on the LBD-EMA condition but this conflict's trail runs much
-        // deeper than conflicts typically do, the search is plausibly
-        // filling in a model — defuse the pending restart by pulling the
-        // fast EMA back to the long-run mean instead of restarting.
-        if (adaptive && config_.restart_blocking && trail_ema_seeded_ &&
-            lbd_ema_seeded_ &&
-            conflicts_this_restart >= config_.adaptive_min_conflicts &&
-            lbd_ema_fast_ > config_.restart_margin * lbd_ema_slow_ &&
-            static_cast<double>(trail_.size()) >
-                config_.block_margin * trail_ema_) {
-          ++stats_.blocked_restarts;
-          lbd_ema_fast_ = lbd_ema_slow_;
-        }
-        maybe_export(learnt, lbd);
-        backtrack(backjump);
-        if (learnt.size() == 1) {
-          enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
-        } else {
-          const ClauseRef cref = attach_clause(learnt, /*learnt=*/true);
-          arena_.set_lbd(cref, lbd);
-          bump_clause(cref);
-          enqueue(learnt[0], {ReasonKind::ClauseRef, cref});
-          ++learnt_count_;
-          ++stats_.learned_clauses;
-        }
-        decay_activities();
         continue;
       }
 

@@ -7,7 +7,12 @@
 //   * two-watched-literal propagation for clauses,
 //   * counter-based propagation (slack maintenance) for PB constraints,
 //   * first-UIP conflict-driven clause learning — PB reasons are weakened
-//     to clausal reasons on demand, the classic PBS scheme,
+//     to clausal reasons on demand, the classic PBS scheme — or, under
+//     PbAnalysis::CuttingPlanes (the Galena scheme), native pseudo-Boolean
+//     conflict analysis: PB conflicts are resolved against PB reasons by
+//     coefficient-scaled addition with saturation and gcd rounding, and
+//     the resolvent is learned as a PB constraint (tiered in reduce_db()
+//     beside the learnt clauses) or as a clause when it degenerates,
 //   * optional learned-clause minimization (self-subsumption),
 //   * VSIDS variable activity with phase saving,
 //   * Luby, geometric, or Glucose-style adaptive (LBD-EMA) restarts, the
@@ -111,6 +116,25 @@ namespace symcolor {
 
 enum class RestartScheme { Luby, Geometric, Adaptive };
 
+/// How conflicts whose conflicting constraint is pseudo-Boolean are
+/// analyzed:
+///   * Weaken — the classic PBS scheme: the PB conflict and every PB
+///     reason are weakened to clauses on the fly and first-UIP clause
+///     learning proceeds as usual. Cheap, but the learned clause can be
+///     exponentially weaker than the PB resolvent (pigeonhole-style
+///     counting arguments are lost).
+///   * CuttingPlanes — Galena's native PB learning: the conflicting
+///     constraint is resolved against PB (and clausal) reasons by
+///     coefficient-scaled addition with saturation; reasons are weakened
+///     only as far as needed to keep the resolvent conflicting, the
+///     resolvent is divided by the gcd of its coefficients each step, and
+///     the result is learned as a PB constraint — or as a clause when the
+///     resolvent degenerates to one. All resolution arithmetic is
+///     overflow-checked; a conflict whose resolvent would overflow int64
+///     falls back to the Weaken path (counted in stats().pb_fallbacks),
+///     so the mode is never less sound than weakening.
+enum class PbAnalysis { Weaken, CuttingPlanes };
+
 /// When reduce_db() fires: on learned-DB size crossing a growing limit
 /// (MiniSat lineage, the default) or on a conflict-count schedule that
 /// grows linearly per reduction (CaDiCaL/Glucose lineage) — the latter
@@ -191,11 +215,27 @@ struct SolverConfig {
   /// (linear back-off, CaDiCaL/Glucose style).
   std::int64_t reduce_interval_inc = 300;
 
+  // ---- PB conflict analysis ----
+  /// Analysis mode for PB conflicts (see PbAnalysis). Weaken is the
+  /// default; the Galena profile and half the portfolio personalities
+  /// run CuttingPlanes.
+  PbAnalysis pb_analysis = PbAnalysis::Weaken;
+  /// Cap on cutting-planes resolution steps per conflict before bailing
+  /// to the Weaken path (defensive bound; real analyses stay far below).
+  int pb_max_resolutions = 4096;
+
   // ---- portfolio clause sharing ----
   /// Learnt clauses with LBD <= share_max_lbd are exported to the
   /// attached ClauseSharing sink (core-tier currency: glue <= 2 by
   /// default, matching tier_core_lbd; learnt units export as glue 1).
+  /// The same cap is re-checked on the importer side: a foreign clause
+  /// whose learn-time glue exceeds the importer's own threshold is
+  /// dropped and counted in stats().rejected_imports.
   int share_max_lbd = 2;
+  /// Size cap enforced on both sides of the exchange: clauses longer than
+  /// this are neither exported nor imported (glue caps alone admit
+  /// arbitrarily long clauses on wide-glue instances).
+  int share_max_size = 64;
 
   // ---- parallel portfolio (read by make_solver_engine/PortfolioSolver,
   // ---- ignored by CdclSolver itself) ----
@@ -331,13 +371,24 @@ class CdclSolver final : public SolverEngine {
     Lit blocker;
   };
   /// One PB row: a view into the shared term pool plus cached slack.
+  /// Learned rows (cutting-planes resolvents) additionally carry the
+  /// clause-DB management metadata — activity, an LBD equivalent (distinct
+  /// decision levels among the falsified terms at learn time, improved on
+  /// touch like clause glue), and the used flag — so reduce_db() can tier
+  /// them exactly like learnt clauses.
   struct PbData {
     std::uint32_t terms_begin = 0;  // offset into pb_terms_
     std::uint32_t terms_len = 0;
     std::int64_t bound = 0;
     std::int64_t slack = 0;      // sum of non-false coefficients minus bound
     std::int64_t max_coeff = 0;  // terms are sorted by descending coeff
+    float activity = 0.0f;       // learned rows only
+    std::uint8_t lbd = 0;        // 0 on problem rows
+    std::uint8_t flags = 0;      // kPbLearnt | kPbUsed | kPbDeleted
   };
+  static constexpr std::uint8_t kPbLearnt = 1u << 0;
+  static constexpr std::uint8_t kPbUsed = 1u << 1;
+  static constexpr std::uint8_t kPbDeleted = 1u << 2;
   struct PbOcc {
     std::uint32_t pb_index = 0;
     std::int64_t coeff = 0;
@@ -420,6 +471,72 @@ class CdclSolver final : public SolverEngine {
   /// the backjump-level scan so the glue costs no extra pass.
   void analyze(Conflict conflict, std::vector<Lit>* learnt, int* backjump,
                int* lbd);
+
+  // ---- cutting-planes PB conflict analysis ----
+  /// What analyze_pb produced. Learned carries either a PB resolvent
+  /// (terms + degree) or, when the resolvent degenerates (all saturated
+  /// coefficients equal the degree after gcd division), a clause —
+  /// including units. Fallback asks the caller to run the clausal
+  /// weakening path on the original conflict; Unsat means the resolvent
+  /// conflicts at decision level 0.
+  enum class PbOutcome : std::uint8_t { Learned, Fallback, Unsat };
+  struct PbLearned {
+    bool is_clause = false;
+    std::vector<Lit> clause;     // valid when is_clause
+    std::vector<PbTerm> terms;   // valid when !is_clause (desc coeff order)
+    std::int64_t degree = 0;
+    int backjump = 0;
+    int glue = 1;
+  };
+  /// Resolve the conflicting PB constraint against the reasons on the
+  /// trail by coefficient-scaled addition with saturation and gcd
+  /// rounding, weakening reasons just enough to keep the resolvent
+  /// conflicting, until the resolvent is assertive below the current
+  /// decision level. Overflow-checked throughout; returns Fallback rather
+  /// than risking an unsound resolvent.
+  PbOutcome analyze_pb(Conflict conflict, PbLearned* out);
+  /// Load a conflict/reason constraint into the resolvent accumulator
+  /// (cp_* members), applying level-0 strengthening. Returns false on
+  /// overflow.
+  bool cp_load(Conflict conflict);
+  /// Slack of the resolvent under the full current assignment.
+  [[nodiscard]] std::int64_t cp_slack_full() const;
+  /// True when the resolvent propagates or conflicts at some level below
+  /// the current one (the PB generalization of the 1UIP stop condition).
+  [[nodiscard]] bool cp_assertive() const;
+  /// Weaken every non-false term out of the resolvent and saturate (used
+  /// when the walk reaches a decision; keeps the resolvent conflicting).
+  bool cp_weaken_nonfalse();
+  /// Saturate resolvent coefficients at the degree and divide the whole
+  /// resolvent by the gcd of its coefficients (degree rounds up).
+  bool cp_saturate_and_divide();
+  /// Reduce `reason` (of trail literal l at trail position pos_l) into
+  /// cp_reason_/cp_reason_degree_: keep l plus literals falsified strictly
+  /// before pos_l, weaken the rest as needed until the planned resolvent
+  /// is guaranteed conflicting. On success cp_reason_[0] is l's own term.
+  /// Returns false on degenerate reasons (caller falls back).
+  bool cp_reduce_reason(Reason reason, Lit l, int pos_l);
+  /// The backjump level of an assertive resolvent: the lowest level at
+  /// which it still propagates or conflicts. Non-const: uses the
+  /// cp_bj_* member scratch.
+  [[nodiscard]] int cp_backjump_level();
+  /// Attach a learned PB constraint at the current (post-backjump) level;
+  /// returns its index. Terms must be sorted by descending coefficient.
+  std::uint32_t attach_learned_pb(std::span<const PbTerm> terms,
+                                  std::int64_t degree, int glue);
+  /// Activity bump + used-flag maintenance for a learned PB touched by
+  /// conflict analysis (the PB analog of bump_clause + touch_learnt).
+  void bump_pb(std::uint32_t pb_index);
+  /// Drop cold learned PB rows by tier/activity (rows serving as trail
+  /// reasons are retained), then compact pbs_, pb_terms_ and pb_occs_ and
+  /// remap trail PbRef reasons — the PB analog of the clause arena GC.
+  void reduce_learned_pbs();
+  /// Glucose-style restart blocking, evaluated at conflict depth (must be
+  /// called before backtracking): when a restart is pending on the
+  /// LBD-EMA condition but this conflict's trail runs much deeper than
+  /// conflicts typically do, defuse the pending restart by pulling the
+  /// fast EMA back to the long-run mean.
+  void maybe_block_restart(std::int64_t conflicts_this_restart);
   void minimize_learnt(std::vector<Lit>* learnt);
   /// Recursive redundancy test (MiniSat ccmin=2): true iff every path
   /// from `p`'s reason back to decisions ends in clause literals or
@@ -436,6 +553,11 @@ class CdclSolver final : public SolverEngine {
 
   ClauseRef attach_clause(std::span<const Lit> lits, bool learnt);
   void attach_pb(const PbConstraint& constraint);
+  /// Shared storage path of attach_pb/attach_learned_pb: append the row
+  /// and its terms/occurrences, computing slack under the current
+  /// assignment. Terms must be sorted by descending coefficient.
+  std::uint32_t attach_pb_row(std::span<const PbTerm> terms,
+                              std::int64_t bound);
   void bump_var(Var v);
   void bump_clause(ClauseRef cref);
   void decay_activities();
@@ -467,8 +589,12 @@ class CdclSolver final : public SolverEngine {
   /// qualifies (called for learnt units too, as glue 1).
   void maybe_export(std::span<const Lit> learnt, int lbd);
   /// Absorb every foreign clause published since the import cursor (must
-  /// be at decision level 0 — restart boundaries and solve entry).
-  /// Returns false when an import derives level-0 unsatisfiability.
+  /// be at decision level 0 — restart boundaries and solve entry). The
+  /// importer re-checks its own size/LBD admission caps (share_max_lbd /
+  /// share_max_size; rejections counted in stats().rejected_imports), and
+  /// a foreign clause that is empty — or all-false — under the level-0
+  /// assignment derives unsatisfiability explicitly. Returns false when
+  /// an import derives level-0 unsatisfiability.
   bool drain_imports();
 
   // ---- state ----
@@ -500,6 +626,7 @@ class CdclSolver final : public SolverEngine {
 
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
+  double pb_inc_ = 1.0;  // learned-PB activity increment (same decay)
   ActivityHeap order_;  // owns the VSIDS score array (order_.scores())
   std::vector<char> polarity_;  // saved phase, 1 = last value true
 
@@ -508,6 +635,31 @@ class CdclSolver final : public SolverEngine {
   std::vector<Lit> redundant_stack_;            // DFS stack, lit_redundant
   std::vector<std::uint64_t> lbd_level_stamp_;  // by level, for LBD scans
   std::uint64_t lbd_stamp_ = 0;
+
+  // Cutting-planes resolvent accumulator (analyze_pb scratch, hoisted to
+  // members). The resolvent is a map var -> (coefficient, literal
+  // orientation) held as dense arrays plus the active-var list. A var
+  // cancelled to coefficient 0 stays in cp_vars_ (with cp_in_ still set)
+  // so a later reason can reintroduce it without duplicate list entries;
+  // every iteration skips zero-coefficient vars.
+  std::vector<std::int64_t> cp_coef_;  // by var; 0 = absent/cancelled
+  std::vector<Lit> cp_lit_;            // by var; the term's literal
+  std::vector<char> cp_in_;            // by var; member of cp_vars_
+  std::vector<Var> cp_vars_;           // active vars, unordered
+  std::int64_t cp_degree_ = 0;
+  std::vector<PbTerm> cp_reason_;      // reduced-reason scratch
+  std::vector<PbTerm> cp_cands_;       // weakening-candidate scratch
+  std::int64_t cp_reason_degree_ = 0;
+  // cp_backjump_level scratch: assigned terms bucketed by level plus the
+  // suffix maxima of their coefficients (hoisted — one learned PB
+  // conflict calls this once, and the hot path must not heap-allocate).
+  struct BjEnt {
+    int lvl;
+    std::int64_t coeff;
+    bool falsified;
+  };
+  std::vector<BjEnt> cp_bj_ents_;
+  std::vector<std::int64_t> cp_bj_suffix_;
 
   // Adaptive-restart state: exponential moving averages of learnt LBD.
   double lbd_ema_fast_ = 0.0;
@@ -536,7 +688,7 @@ class CdclSolver final : public SolverEngine {
     PortfolioHooks& operator=(const PortfolioHooks&) = delete;
   };
   PortfolioHooks hooks_;
-  std::vector<Clause> import_buf_;  // drain_imports scratch
+  std::vector<SharedClause> import_buf_;  // drain_imports scratch
 
   std::vector<LBool> model_;
   bool ok_ = true;  // false once level-0 conflict derived

@@ -29,16 +29,23 @@ SolverConfig diversify_config(const SolverConfig& base, int index) {
     case 1:
       // SAT-dense personality: adaptive restarts guarded by trail-size
       // blocking — hangs on to deep trails instead of restarting them.
+      // Also flips to native cutting-planes PB learning, so on PB-heavy
+      // instances the portfolio always races both analysis modes
+      // (a no-op on purely clausal formulas).
       c.restart_scheme = RestartScheme::Adaptive;
       c.restart_blocking = true;
+      c.pb_analysis = PbAnalysis::CuttingPlanes;
       break;
     case 2:
       // Slow-and-steady: gentle geometric restarts with the
       // conflict-interval reduce schedule (keeps more clauses early).
+      // Explicitly pins clause-weakening PB analysis so a CuttingPlanes
+      // base (the Galena profile) still races a weakening worker.
       c.restart_scheme = RestartScheme::Geometric;
       c.restart_base = 100;
       c.restart_growth = 1.3;
       c.reduce_scheme = ReduceScheme::ConflictInterval;
+      c.pb_analysis = PbAnalysis::Weaken;
       break;
     case 3:
       // Scrambler: rapid Luby restarts, positive fixed-phase branching
@@ -62,22 +69,23 @@ SolverConfig diversify_config(const SolverConfig& base, int index) {
 
 bool ClauseExchange::export_clause(int worker, std::span<const Lit> lits,
                                    int lbd) {
-  (void)lbd;  // the exporter already filtered on glue
   const std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.size() >= capacity_) {
     ++dropped_;
     return false;
   }
-  entries_.push_back({worker, Clause(lits.begin(), lits.end())});
+  // The exporter already filtered on its own glue cap; the learn-time LBD
+  // rides along so every importer can re-apply its own admission caps.
+  entries_.push_back({worker, {Clause(lits.begin(), lits.end()), lbd}});
   return true;
 }
 
 void ClauseExchange::import_clauses(int worker, std::size_t* cursor,
-                                    std::vector<Clause>* out) {
+                                    std::vector<SharedClause>* out) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (std::size_t i = *cursor; i < entries_.size(); ++i) {
     if (entries_[i].worker == worker) continue;  // own export
-    out->push_back(entries_[i].lits);
+    out->push_back(entries_[i].clause);
   }
   *cursor = entries_.size();
 }

@@ -72,7 +72,7 @@ class ClauseExchange final : public ClauseSharing {
   bool export_clause(int worker, std::span<const Lit> lits,
                      int lbd) override;
   void import_clauses(int worker, std::size_t* cursor,
-                      std::vector<Clause>* out) override;
+                      std::vector<SharedClause>* out) override;
 
   [[nodiscard]] std::size_t exported() const;
   [[nodiscard]] std::size_t dropped() const;
@@ -80,7 +80,7 @@ class ClauseExchange final : public ClauseSharing {
  private:
   struct Entry {
     int worker;
-    Clause lits;
+    SharedClause clause;
   };
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;

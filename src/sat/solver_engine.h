@@ -82,6 +82,29 @@ struct SolverStats {
   std::int64_t exported_clauses = 0;
   /// Clauses this solver absorbed from other portfolio workers.
   std::int64_t imported_clauses = 0;
+  /// Foreign clauses dropped at import time for failing the importer's own
+  /// size/LBD caps (share_max_lbd / share_max_size re-checked on arrival —
+  /// diversified workers need not trust the exporter's thresholds).
+  std::int64_t rejected_imports = 0;
+
+  // ---- PB conflict analysis (cutting planes) ----
+  /// PB constraints learned by cutting-planes conflict analysis.
+  std::int64_t learned_pbs = 0;
+  /// Learned PB constraints deleted by reduce_db().
+  std::int64_t deleted_pbs = 0;
+  /// Cutting-planes resolution steps performed across all analyses.
+  std::int64_t pb_resolutions = 0;
+  /// PB conflicts where cutting-planes analysis bailed to the clausal
+  /// weakening path (coefficient overflow, degenerate resolvent).
+  std::int64_t pb_fallbacks = 0;
+};
+
+/// A clause in transit between portfolio workers, tagged with the glue the
+/// exporter measured at learn time so the importer can apply its own
+/// size/LBD admission caps before attaching.
+struct SharedClause {
+  Clause lits;
+  int lbd = 0;
 };
 
 /// Shared clause pool between portfolio workers. Implementations must be
@@ -96,9 +119,10 @@ class ClauseSharing {
   virtual bool export_clause(int worker, std::span<const Lit> lits,
                              int lbd) = 0;
   /// Append every clause published since `*cursor` by a worker other than
-  /// `worker` to `out`, and advance the cursor past them.
+  /// `worker` to `out` (with its learn-time glue), and advance the cursor
+  /// past them.
   virtual void import_clauses(int worker, std::size_t* cursor,
-                              std::vector<Clause>* out) = 0;
+                              std::vector<SharedClause>* out) = 0;
 };
 
 /// Abstract solve backend: incremental constraint addition, assumption

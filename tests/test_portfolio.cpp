@@ -364,12 +364,105 @@ TEST(WorkerSeeds, DiversifiedConfigsReseedAndVary) {
       EXPECT_NE(seeds[i], seeds[j]);
     }
   }
-  // The four personalities cover distinct restart/phase/reduce policies.
+  // The four personalities cover distinct restart/phase/reduce policies,
+  // and PB analysis is a diversification axis: worker 1 always runs
+  // native cutting planes, worker 2 always runs clause weakening, so both
+  // modes race regardless of the base profile.
   EXPECT_TRUE(diversify_config(base, 1).restart_blocking);
+  EXPECT_EQ(diversify_config(base, 1).pb_analysis, PbAnalysis::CuttingPlanes);
   EXPECT_EQ(diversify_config(base, 2).reduce_scheme,
             ReduceScheme::ConflictInterval);
+  EXPECT_EQ(diversify_config(base, 2).pb_analysis, PbAnalysis::Weaken);
   EXPECT_FALSE(diversify_config(base, 3).phase_saving);
   EXPECT_TRUE(diversify_config(base, 3).default_phase);
+}
+
+// ---- import admission control and degenerate imports ----
+
+TEST(ClauseImport, ImporterReappliesGlueAndSizeCaps) {
+  // The exporter's thresholds are not trusted: a foreign clause whose
+  // learn-time glue exceeds the importer's share_max_lbd, or whose length
+  // exceeds share_max_size, must be dropped at import time and counted.
+  Formula f;
+  const Var first = f.new_vars(80);
+  f.add_clause({Lit::positive(first), Lit::positive(first + 1)});
+
+  ClauseExchange exchange(64);
+  const std::vector<Lit> high_glue{Lit::positive(first),
+                                   Lit::positive(first + 2),
+                                   Lit::positive(first + 3)};
+  ASSERT_TRUE(exchange.export_clause(/*worker=*/1, high_glue, /*lbd=*/9));
+  const std::vector<Lit> acceptable{Lit::positive(first),
+                                    Lit::positive(first + 4)};
+  ASSERT_TRUE(exchange.export_clause(/*worker=*/1, acceptable, /*lbd=*/2));
+  std::vector<Lit> oversized;
+  for (int i = 0; i < 70; ++i) oversized.push_back(Lit::positive(first + i));
+  ASSERT_TRUE(exchange.export_clause(/*worker=*/1, oversized, /*lbd=*/1));
+
+  SolverConfig config;  // share_max_lbd = 2, share_max_size = 64
+  CdclSolver solver(f, config);
+  solver.set_sharing(&exchange, /*worker=*/0);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.stats().imported_clauses, 1);
+  EXPECT_EQ(solver.stats().rejected_imports, 2);
+}
+
+TEST(ClauseImport, AllFalseForeignClauseDerivesUnsat) {
+  // A foreign clause that is already all-false under the importer's
+  // level-0 assignment must set the solver UNSAT instead of being
+  // silently attached as a falsified record.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  const Var c = f.new_var();
+  f.add_unit(Lit::negative(a));
+  f.add_unit(Lit::negative(b));
+  f.add_clause({Lit::positive(c), Lit::positive(a)});
+
+  ClauseExchange exchange(16);
+  const std::vector<Lit> foreign{Lit::positive(a), Lit::positive(b)};
+  ASSERT_TRUE(exchange.export_clause(/*worker=*/1, foreign, /*lbd=*/2));
+
+  CdclSolver solver(f);
+  solver.set_sharing(&exchange, /*worker=*/0);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(ClauseImport, UnitConflictingForeignClauseDerivesUnsat) {
+  // A foreign clause that simplifies to a unit whose propagation
+  // conflicts at level 0 ends the search as UNSAT on import.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_clause({Lit::negative(a), Lit::positive(b)});
+  f.add_clause({Lit::negative(a), Lit::negative(b)});
+  // Keep the instance satisfiable on its own (~a works).
+  ClauseExchange exchange(16);
+  const std::vector<Lit> foreign{Lit::positive(a)};
+  ASSERT_TRUE(exchange.export_clause(/*worker=*/1, foreign, /*lbd=*/1));
+
+  CdclSolver solver(f);
+  solver.set_sharing(&exchange, /*worker=*/0);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(ClauseImport, PortfolioRaceSurvivesDegenerateImports) {
+  // End-to-end regression: racing workers with sharing enabled on
+  // instances whose imports can simplify to units (myciel3 at its
+  // chromatic boundary) must never flip an answer or trip the
+  // disagreement check, across several interleavings.
+  const Graph myciel = make_myciel_dimacs(3);
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 4;
+  config.share_max_lbd = 4;  // admit enough traffic to exercise the path
+  for (int round = 0; round < 3; ++round) {
+    PortfolioSolver unsat(
+        encode_k_coloring(myciel, 3, SbpOptions::nu_sc()).formula, config);
+    EXPECT_EQ(unsat.solve(), SolveResult::Unsat) << "round " << round;
+    PortfolioSolver sat(
+        encode_k_coloring(myciel, 4, SbpOptions::nu_sc()).formula, config);
+    EXPECT_EQ(sat.solve(), SolveResult::Sat) << "round " << round;
+  }
 }
 
 }  // namespace
