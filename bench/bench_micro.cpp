@@ -266,6 +266,59 @@ BENCHMARK(BM_CdclPortfolioSpeedup)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// One persistent engine, repeated assumption solves: the incremental-SAT
+// workload every optimizer loop now runs. Each iteration asks "<= k
+// colors?" for every k from K-1 down to chi via a single retractable
+// ~y(k) assumption against ONE solver — learned clauses accumulate across
+// the queries instead of being rebuilt away.
+void BM_CdclAssumptionSolve(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_k_coloring(g, 7, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  std::int64_t conflicts = 0;
+  std::int64_t solves = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    for (int k = 6; k >= 4; --k) {  // chi(queen5) = 5: SAT, SAT, UNSAT
+      const std::vector<Lit> assume{Lit::negative(enc.y(k))};
+      benchmark::DoNotOptimize(solver.solve(Deadline{}, assume));
+      ++solves;
+    }
+    conflicts += solver.stats().conflicts;
+  }
+  state.counters["conflicts_per_sec"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+  state.counters["assumption_solves_per_sec"] = benchmark::Counter(
+      static_cast<double>(solves), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclAssumptionSolve);
+
+// The three objective search strategies on the same optimizer instance:
+// Arg 0 = linear strengthening, 1 = binary search, 2 = core-guided.
+// Every strategy drives one persistent engine through selector-ladder
+// assumptions; probes_per_iter and conflicts expose their different
+// probe/hardness trade-offs.
+void BM_OptimizerSearchStrategies(benchmark::State& state) {
+  const Graph g = make_queen_graph(6, 6);
+  const ColoringEncoding enc = encode_coloring(g, 8, SbpOptions::nu_sc());
+  const SolverConfig config = profile_config(SolverKind::PbsII);
+  const auto strategy = static_cast<SearchStrategy>(state.range(0));
+  std::int64_t conflicts = 0;
+  std::int64_t probes = 0;
+  for (auto _ : state) {
+    const OptResult r = minimize(enc.formula, config, Deadline(60.0), strategy);
+    benchmark::DoNotOptimize(r.best_value);
+    conflicts += r.stats.conflicts;
+    probes += r.probes;
+  }
+  state.counters["conflicts_per_sec"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+  state.counters["probes_per_iter"] =
+      static_cast<double>(probes) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_OptimizerSearchStrategies)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_MinimizeMyciel(benchmark::State& state) {
   const Graph g = make_myciel_dimacs(static_cast<int>(state.range(0)));
   const ColoringEncoding enc = encode_coloring(g, 8, SbpOptions::nu_sc());

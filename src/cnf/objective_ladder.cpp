@@ -1,0 +1,146 @@
+#include "cnf/objective_ladder.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace symcolor {
+namespace {
+
+/// One totalizer node: achievable nonzero partial sums, ascending, each
+/// with the literal that the sum reaching it implies.
+using Node = std::vector<std::pair<std::int64_t, Lit>>;
+
+/// Distinct-sum census of a merge, values only (the construction dry-run).
+std::vector<std::int64_t> merge_values(const std::vector<std::int64_t>& a,
+                                       const std::vector<std::int64_t>& b) {
+  std::map<std::int64_t, char> seen;
+  for (const std::int64_t x : a) seen.emplace(x, 0);
+  for (const std::int64_t y : b) seen.emplace(y, 0);
+  for (const std::int64_t x : a) {
+    for (const std::int64_t y : b) seen.emplace(x + y, 0);
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(seen.size());
+  for (const auto& [v, _] : seen) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+ObjectiveLadder::ObjectiveLadder(Formula* formula, const Objective& objective,
+                                 std::size_t max_values) {
+  // Normalize exactly like PbConstraint: merge same-var terms, flip
+  // negative weights onto the complement literal (offset absorbs the
+  // constant), drop zeros. The map is keyed by variable so each var
+  // contributes one term.
+  std::map<Var, std::pair<std::int64_t, Lit>> by_var;  // var -> (w, lit)
+  for (const PbTerm& t : objective.terms) {
+    if (t.coeff == 0) continue;
+    auto [it, inserted] = by_var.emplace(t.lit.var(), std::pair{t.coeff, t.lit});
+    if (inserted) continue;
+    // Same variable again: convert to this entry's orientation and add.
+    it->second.first += it->second.second == t.lit ? t.coeff : -t.coeff;
+    if (it->second.second != t.lit) offset_ += t.coeff;
+  }
+  std::vector<std::pair<std::int64_t, Lit>> terms;
+  for (auto& [var, wl] : by_var) {
+    auto [w, lit] = wl;
+    if (w == 0) continue;
+    if (w < 0) {
+      // w*l == -w*(~l) + w: count the complement, shift the offset.
+      offset_ += w;
+      w = -w;
+      lit = ~lit;
+    }
+    terms.push_back({w, lit});
+    soft_terms_.push_back({w, ~lit});
+    sum_ += w;
+  }
+
+  // Dry-run the balanced merge tree on value sets alone; refuse before
+  // touching the formula if any node would exceed the cap. The per-level
+  // merged value sets are kept (same order as the real pass below) so
+  // the enumeration is not repeated when literals are assigned.
+  std::vector<std::vector<std::vector<std::int64_t>>> census_levels;
+  {
+    std::vector<std::vector<std::int64_t>> leaves;
+    for (const auto& [w, lit] : terms) leaves.push_back({w});
+    census_levels.push_back(std::move(leaves));
+    while (census_levels.back().size() > 1) {
+      const std::vector<std::vector<std::int64_t>>& level =
+          census_levels.back();
+      std::vector<std::vector<std::int64_t>> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        std::vector<std::int64_t> merged =
+            merge_values(level[i], level[i + 1]);
+        if (merged.size() > max_values) {
+          ok_ = false;
+          return;
+        }
+        next.push_back(std::move(merged));
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      census_levels.push_back(std::move(next));
+    }
+  }
+
+  // Real pass: leaves are the term literals themselves (sum >= w iff the
+  // literal is true), internal nodes get fresh outputs — one per value
+  // the census already enumerated — plus the merge clauses and the
+  // ordering chain.
+  std::vector<Node> level;
+  for (const auto& [w, lit] : terms) level.push_back({{w, lit}});
+  for (std::size_t depth = 1; level.size() > 1; ++depth) {
+    const std::vector<std::vector<std::int64_t>>& census =
+        census_levels[depth];
+    std::vector<Node> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const Node& a = level[i];
+      const Node& b = level[i + 1];
+      Node c;
+      for (const std::int64_t v : census[i / 2]) {
+        c.push_back({v, Lit::positive(formula->new_var())});
+      }
+      const auto output = [&c](std::int64_t v) {
+        const auto it = std::lower_bound(
+            c.begin(), c.end(), v,
+            [](const auto& entry, std::int64_t x) { return entry.first < x; });
+        return it->second;  // v is in the set by construction
+      };
+      // sum_A >= va  ->  C_va   (and symmetrically for B)
+      for (const auto& [va, la] : a) formula->add_implication(la, output(va));
+      for (const auto& [vb, lb] : b) formula->add_implication(lb, output(vb));
+      // sum_A >= va and sum_B >= vb  ->  C_{va+vb}
+      for (const auto& [va, la] : a) {
+        for (const auto& [vb, lb] : b) {
+          formula->add_clause({~la, ~lb, output(va + vb)});
+        }
+      }
+      // Ordering chain: reaching a value implies reaching every smaller
+      // one, so ONE negated output caps the sum from above.
+      for (std::size_t j = 1; j < c.size(); ++j) {
+        formula->add_implication(c[j].second, c[j - 1].second);
+      }
+      next.push_back(std::move(c));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  if (!level.empty()) outputs_ = std::move(level.front());
+}
+
+ObjectiveLadder::Bound ObjectiveLadder::at_most(std::int64_t bound) const {
+  const std::int64_t norm = bound - offset_;  // bound on the positive sum
+  if (norm < 0) return {Bound::Kind::Infeasible, kUndefLit};
+  if (norm >= sum_) return {Bound::Kind::Free, kUndefLit};
+  // Smallest achievable value strictly above the bound; assuming its
+  // output false forbids every sum at or beyond it (ordering chain).
+  const auto it = std::upper_bound(
+      outputs_.begin(), outputs_.end(), norm,
+      [](std::int64_t x, const auto& entry) { return x < entry.first; });
+  // norm < sum_ and sum_ is achievable, so some output lies above norm.
+  return {Bound::Kind::Assume, ~it->second};
+}
+
+}  // namespace symcolor

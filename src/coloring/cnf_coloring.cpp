@@ -1,6 +1,7 @@
 #include "coloring/cnf_coloring.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <stdexcept>
 
@@ -138,78 +139,93 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
   int upper = Graph::count_colors(best_coloring);  // feasible
   int lower = std::max<int>(1, static_cast<int>(greedy_clique(graph).size()));
 
-  // The portfolio_threads knob overrides the embedded solver config; the
-  // factory then picks the sequential engine or the parallel portfolio.
-  SolverConfig solver_config = options.solver;
-  if (options.portfolio_threads > 1) {
-    solver_config.portfolio_threads = options.portfolio_threads;
-  }
+  bool timed_out = false;
+  // One search loop serves both pipelines; only the query differs (an
+  // assumption probe against one persistent engine, or a per-K rebuild).
+  // `query(k)` answers "is the graph <= k-colorable?" and on Sat pulls
+  // `upper` down via the decoded coloring.
+  const auto run_search = [&](auto&& query) {
+    switch (options.search) {
+      case SearchStrategy::Linear:
+        while (upper > lower) {
+          const SolveResult r = query(upper - 1);
+          if (r == SolveResult::Unknown) {
+            timed_out = true;
+            break;
+          }
+          if (r == SolveResult::Unsat) break;  // upper proved optimal
+        }
+        break;
+      case SearchStrategy::Binary:
+        while (lower < upper) {
+          const int mid = lower + (upper - lower) / 2;
+          const SolveResult r = query(mid);
+          if (r == SolveResult::Unknown) {
+            timed_out = true;
+            break;
+          }
+          if (r == SolveResult::Unsat) lower = mid + 1;
+          // Sat updates `upper` via the decoded coloring.
+        }
+        break;
+      case SearchStrategy::CoreGuided:
+        // Ascend from the clique bound; every UNSAT answer lifts it.
+        // Sat at k == lower pulls `upper` down to it: loop exits.
+        while (lower < upper) {
+          const SolveResult r = query(lower);
+          if (r == SolveResult::Unknown) {
+            timed_out = true;
+            break;
+          }
+          if (r == SolveResult::Unsat) ++lower;
+        }
+        break;
+    }
+  };
 
   if (options.incremental) {
     // One encoding at the upper bound; NU makes color usage a prefix, so
-    // assuming ~y(k) asserts "at most k colors".
+    // assuming ~y(k) asserts "at most k colors" — the y block IS a
+    // selector ladder, and all three strategies drive the same persistent
+    // engine through it (learned clauses survive every probe, in both
+    // directions of the binary search). solver.portfolio_threads is the
+    // one thread knob; the factory picks the backend from it.
     SbpOptions sbps = options.sbps;
     sbps.nu = true;
     ColoringEncoding enc =
         encode_k_coloring_cnf(graph, upper, options.amo, sbps);
     const std::unique_ptr<SolverEngine> solver =
-        make_solver_engine(enc.formula, solver_config);
-    bool timed_out = false;
-    while (upper > lower) {
+        make_solver_engine(enc.formula, options.solver);
+    run_search([&](int k) {
       ++result.sat_calls;
-      const std::vector<Lit> assume{Lit::negative(enc.y(upper - 1))};
+      const std::vector<Lit> assume{Lit::negative(enc.y(k))};
       const SolveResult r = solver->solve(deadline, assume);
-      if (r == SolveResult::Unknown) {
-        timed_out = true;
-        break;
+      if (r == SolveResult::Sat) {
+        best_coloring = enc.decode(solver->model());
+        upper = Graph::count_colors(best_coloring);
+      } else if (r == SolveResult::Unsat) {
+        // The failed-assumption core certifies an Unsat came from the
+        // ~y(k) bound rather than the formula itself (an empty core
+        // would mean the encoding is unsatisfiable outright, which the
+        // feasible DSATUR coloring rules out).
+        assert(!solver->last_core().empty());
       }
-      if (r == SolveResult::Unsat) break;
-      best_coloring = enc.decode(solver->model());
-      upper = Graph::count_colors(best_coloring);
-    }
-    result.num_colors = upper;
-    result.coloring = best_coloring;
-    result.status = timed_out ? OptStatus::Feasible : OptStatus::Optimal;
-    result.seconds = timer.seconds();
-    return result;
-  }
-
-  auto query = [&](int k) {
-    ColoringEncoding enc =
-        encode_k_coloring_cnf(graph, k, options.amo, options.sbps);
-    const std::unique_ptr<SolverEngine> solver =
-        make_solver_engine(enc.formula, solver_config);
-    ++result.sat_calls;
-    const SolveResult r = solver->solve(deadline);
-    if (r == SolveResult::Sat) {
-      best_coloring = enc.decode(solver->model());
-      upper = Graph::count_colors(best_coloring);
-    }
-    return r;
-  };
-
-  bool timed_out = false;
-  if (options.binary_search) {
-    while (lower < upper) {
-      const int mid = lower + (upper - lower) / 2;
-      const SolveResult r = query(mid);
-      if (r == SolveResult::Unknown) {
-        timed_out = true;
-        break;
-      }
-      if (r == SolveResult::Unsat) lower = mid + 1;
-      // Sat updates `upper` via the decoded coloring.
-    }
+      return r;
+    });
   } else {
-    while (upper > lower) {
-      const SolveResult r = query(upper - 1);
-      if (r == SolveResult::Unknown) {
-        timed_out = true;
-        break;
+    run_search([&](int k) {
+      ColoringEncoding enc =
+          encode_k_coloring_cnf(graph, k, options.amo, options.sbps);
+      const std::unique_ptr<SolverEngine> solver =
+          make_solver_engine(enc.formula, options.solver);
+      ++result.sat_calls;
+      const SolveResult r = solver->solve(deadline);
+      if (r == SolveResult::Sat) {
+        best_coloring = enc.decode(solver->model());
+        upper = Graph::count_colors(best_coloring);
       }
-      if (r == SolveResult::Unsat) break;  // upper proved optimal
-    }
-    if (!timed_out) lower = upper;
+      return r;
+    });
   }
 
   result.num_colors = upper;

@@ -44,22 +44,27 @@ ColoringEncoding encode_k_coloring_cnf(const Graph& graph, int max_colors,
 struct SatLoopOptions {
   AmoEncoding amo = AmoEncoding::Sequential;
   SbpOptions sbps;
-  SolverConfig solver;
-  double time_budget_seconds = 0.0;
-  bool binary_search = false;  ///< bisect [clique, DSATUR] instead of
-                               ///< descending from the DSATUR bound
-  /// Racing solver workers per SAT call (see sat/portfolio.h); > 1
-  /// overrides solver.portfolio_threads. The minimum color count is
+  /// Solver configuration, including the ONE thread knob:
+  /// solver.portfolio_threads > 1 races the clone-based portfolio inside
+  /// every SAT call (sat/portfolio.h). The minimum color count is
   /// identical at any thread count — only the wall-clock changes. In the
   /// incremental pipeline the portfolio master carries learned clauses
   /// (its own and imported core clauses) across the K queries.
-  int portfolio_threads = 1;
+  SolverConfig solver;
+  double time_budget_seconds = 0.0;
+  /// Search strategy over K (the same enum the PB optimizer uses):
+  ///   * Linear — descend from the DSATUR upper bound until UNSAT;
+  ///   * Binary — bisect [clique, DSATUR];
+  ///   * CoreGuided — ascend from the clique lower bound, each UNSAT
+  ///     lifting it (in the incremental pipeline the y(k) assumption's
+  ///     failed core certifies the lift).
+  SearchStrategy search = SearchStrategy::Linear;
   /// Keep ONE solver across all K queries: encode once at the upper
   /// bound with NU forced on, and query "<= k colors" by assuming
   /// ~y(k) (null-color elimination makes the usage prefix-closed, so a
-  /// single assumption caps the color count). Learned clauses survive
-  /// across queries — the modern incremental-SAT treatment the paper's
-  /// per-K rebuild predates.
+  /// single assumption caps the color count — the same retractable-bound
+  /// machinery the PB optimizer's selector ladder generalizes). Learned
+  /// clauses survive across queries, under every search strategy.
   bool incremental = false;
 };
 

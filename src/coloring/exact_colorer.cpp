@@ -44,9 +44,7 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
     SolverConfig config = profile_config(options.solver);
     config.portfolio_threads = options.threads;
     result = optimization
-                 ? (options.binary_search
-                        ? minimize_binary(enc.formula, config, deadline)
-                        : minimize_linear(enc.formula, config, deadline))
+                 ? minimize(enc.formula, config, deadline, options.search)
                  : solve_decision(enc.formula, config, deadline);
   }
   outcome.solve_seconds = solve_timer.seconds();

@@ -34,8 +34,10 @@ struct ColoringOptions {
   /// Per-instance wall budget in seconds (0 = unlimited), covering
   /// symmetry detection plus solving.
   double time_budget_seconds = 0.0;
-  /// Use binary instead of linear objective search (ablation).
-  bool binary_search = false;
+  /// Objective search strategy (pb/optimizer.h): linear strengthening,
+  /// binary search, or core-guided lower-bound lifting — all three run on
+  /// one persistent engine and reach the same optimum.
+  SearchStrategy search = SearchStrategy::Linear;
   /// Run the pre-solve simplifier (root propagation, pure literals,
   /// subsumption) after SBPs are in place.
   bool presimplify = false;

@@ -1,20 +1,46 @@
 #pragma once
-// Boolean optimization (0-1 ILP) on top of the solve pipeline.
+// Boolean optimization (0-1 ILP) on top of the solve pipeline —
+// assumption-native: every search strategy drives ONE persistent
+// SolverEngine whose learned state survives all probes.
 //
-// The paper's solvers minimize a linear objective over a CNF+PB formula.
-// We implement the standard strengthening loop ("linear search" in the
-// paper's Section 4.1 terminology): solve; on SAT with objective value W,
-// add  objective <= W - 1  and re-solve with all learned clauses kept;
-// repeat until UNSAT, which proves the last model optimal. A binary-search
-// variant (fresh solver per probe) backs the search-strategy ablation.
+// The paper's solvers minimize a linear objective over a CNF+PB formula;
+// its Section 4.1 sketches two search procedures over the objective
+// value. We implement three, all on the same machinery — an objective
+// selector ladder (cnf/objective_ladder.h) built once next to the
+// formula, which turns "objective <= W" into a single retractable
+// assumption:
 //
-// Both loops drive an abstract SolverEngine obtained from
+//   * SearchStrategy::Linear — iterative strengthening, SAT-to-UNSAT:
+//     solve; on SAT with value W re-solve assuming objective <= W-1;
+//     repeat until UNSAT, proving the last model optimal. Each probe
+//     tightens the previous one, so the assumption ladder loses nothing
+//     over the old permanent-row strengthening — and keeps the engine
+//     reusable afterwards.
+//   * SearchStrategy::Binary — bisect [lower_hint, first incumbent - 1].
+//     Historically this rebuilt a fresh solver per probe because a
+//     permanent "objective <= mid" row cannot be retracted when the probe
+//     answers UNSAT; with ladder assumptions the SAME engine serves both
+//     directions of the search and every learned clause carries over
+//     (zero rebuilds — see the ROADMAP PR 5 table for the conflict
+//     counts this saves).
+//   * SearchStrategy::CoreGuided — MaxSAT-style lower-bound lifting:
+//     assume every objective term false and mine disjoint UNSAT cores
+//     (SolverEngine::last_core()); each core proves some term in it must
+//     be true and lifts the lower bound by its minimum weight, after
+//     which a ladder-assumption binary search closes the (often already
+//     tight) [lb, ub] gap. UNSAT-heavy workloads — MaxSAT-shaped
+//     instances where the optimum sits far below the first incumbent —
+//     converge from below instead of crawling down from above.
+//
+// All strategies reach the same optimum; they differ in probe count and
+// in which side of the bound their probes are easy on. A formula without
+// an objective degenerates to a single decision query under any strategy.
+//
+// Every loop drives an abstract SolverEngine obtained from
 // make_solver_engine, never a concrete solver: setting
 // SolverConfig::portfolio_threads > 1 swaps the sequential CDCL backend
 // for the clone-based parallel portfolio (sat/portfolio.h) without the
-// loops changing shape, and the optima are identical at any thread count
-// (the strengthening loops are exact regardless of which model each SAT
-// call happens to surface).
+// loops changing shape, and the optima are identical at any thread count.
 
 #include <cstdint>
 #include <vector>
@@ -24,6 +50,13 @@
 #include "util/timer.h"
 
 namespace symcolor {
+
+/// Objective search strategy, shared by every optimization caller (the
+/// native PB pipeline in coloring/exact_colorer, the SAT-loop colorer in
+/// coloring/cnf_coloring, the CLI's --search flag).
+enum class SearchStrategy { Linear, Binary, CoreGuided };
+
+const char* search_strategy_name(SearchStrategy strategy);
 
 enum class OptStatus {
   Optimal,     ///< best_value proved optimal
@@ -35,8 +68,13 @@ enum class OptStatus {
 struct OptResult {
   OptStatus status = OptStatus::Unknown;
   std::int64_t best_value = 0;
-  std::vector<LBool> model;  ///< empty unless a model was found
-  SolverStats stats;
+  std::vector<LBool> model;  ///< empty unless a model was found; indexed by
+                             ///< the ORIGINAL formula's variables (ladder
+                             ///< auxiliaries are stripped)
+  SolverStats stats;         ///< cumulative across all probes (one engine)
+  /// Number of solve() calls the search issued — all against the same
+  /// persistent engine; the strategy comparison statistic.
+  int probes = 0;
   double seconds = 0.0;
   [[nodiscard]] bool solved() const noexcept {
     return status == OptStatus::Optimal || status == OptStatus::Infeasible;
@@ -47,13 +85,18 @@ struct OptResult {
 OptResult solve_decision(const Formula& formula, const SolverConfig& config,
                          const Deadline& deadline);
 
-/// Minimize the formula's objective by iterative strengthening. A formula
-/// without an objective degenerates to solve_decision.
+/// Minimize the formula's objective with the given strategy on one
+/// persistent engine. `lower_hint` seeds the lower bound of the Binary
+/// and CoreGuided searches (ignored by Linear).
+OptResult minimize(const Formula& formula, const SolverConfig& config,
+                   const Deadline& deadline, SearchStrategy strategy,
+                   std::int64_t lower_hint = 0);
+
+/// minimize() with SearchStrategy::Linear.
 OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
                           const Deadline& deadline);
 
-/// Minimize by binary search on the objective value in [lower_hint, first
-/// incumbent]. Rebuilds the solver per probe; used by the ablation bench.
+/// minimize() with SearchStrategy::Binary.
 OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
                           const Deadline& deadline,
                           std::int64_t lower_hint = 0);

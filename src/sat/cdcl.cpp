@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "sat/luby.h"
 
@@ -908,6 +909,41 @@ void CdclSolver::reduce_learned_pbs() {
   }
 }
 
+void CdclSolver::analyze_final(Lit failed) {
+  // `failed` is a pending assumption whose complement the assumption
+  // prefix taken so far already implies. Walk the implication graph from
+  // ~failed back to pseudo-decisions: every reason-less trail literal
+  // reached is one of the earlier assumptions this conflict rests on
+  // (assumption-taking happens before any branch decision, so at this
+  // point every open decision level is an assumption level).
+  core_.clear();
+  core_.push_back(failed);
+  if (decision_level() == 0) return;  // implied by root units alone
+  seen_[static_cast<std::size_t>(failed.var())] = 1;
+  const int start = trail_lim_[0];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= start; --i) {
+    const Lit p = trail_[static_cast<std::size_t>(i)];
+    const auto v = static_cast<std::size_t>(p.var());
+    if (!seen_[v]) continue;
+    const Reason r = vardata_[v].reason;
+    if (r.kind == ReasonKind::None) {
+      // Pseudo-decision: `p` is itself one of the caller's assumptions.
+      core_.push_back(p);
+    } else {
+      // Reason literals are falsified strictly before p, so each mark set
+      // here sits at a lower trail position and is consumed (and cleared)
+      // later in this same backward sweep; level-0 literals carry no
+      // assumption dependency and are skipped.
+      for_each_reason_lit(r, p, [&](Lit q) {
+        if (level(q.var()) > 0) seen_[static_cast<std::size_t>(q.var())] = 1;
+        return true;
+      });
+    }
+    seen_[v] = 0;
+  }
+  seen_[static_cast<std::size_t>(failed.var())] = 0;
+}
+
 bool CdclSolver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
   redundant_stack_.clear();
   redundant_stack_.push_back(p);
@@ -1156,6 +1192,21 @@ void CdclSolver::maybe_export(std::span<const Lit> learnt, int lbd) {
   }
 }
 
+void CdclSolver::maybe_export_pb(std::span<const PbTerm> terms,
+                                 std::int64_t degree, int glue) {
+  // Same admission caps as clause exports: glue-tier currency, bounded
+  // width. Weakening-mode workers never reach this (they learn clauses
+  // only), so the PB lane carries traffic exactly when a cutting-planes
+  // worker is in the race.
+  if (hooks_.sharing == nullptr || glue > config_.share_max_lbd ||
+      terms.size() > static_cast<std::size_t>(config_.share_max_size)) {
+    return;
+  }
+  if (hooks_.sharing->export_pb(hooks_.worker_id, terms, degree, glue)) {
+    ++stats_.exported_pbs;
+  }
+}
+
 bool CdclSolver::drain_imports() {
   assert(decision_level() == 0);
   import_buf_.clear();
@@ -1182,6 +1233,32 @@ bool CdclSolver::drain_imports() {
     // falsified record. Glue imports would be core-tier anyway, so
     // attaching them as permanent clauses loses nothing to reduce_db().
     if (!add_clause(std::move(sc.lits))) return false;
+  }
+  // Learned PB rows travel the same way. add_pb re-normalizes the row and
+  // runs the full level-0 admission logic: clause/unit degeneration,
+  // contradiction and conflicting-under-level-0 detection (ok_ cleared,
+  // surfaced through the false return), initial propagation.
+  pb_import_buf_.clear();
+  hooks_.sharing->import_pbs(hooks_.worker_id, &hooks_.pb_import_cursor,
+                             &pb_import_buf_);
+  for (SharedPb& sp : pb_import_buf_) {
+    if (sp.lbd > config_.share_max_lbd ||
+        sp.terms.size() > static_cast<std::size_t>(config_.share_max_size)) {
+      ++stats_.rejected_imports;
+      continue;
+    }
+    PbConstraint imported;
+    try {
+      imported = PbConstraint::at_least(std::move(sp.terms), sp.degree);
+    } catch (const std::overflow_error&) {
+      // The exporter's arithmetic was overflow-checked, but re-normalizing
+      // against this importer still sums coefficients; refuse rather than
+      // attach anything inexact.
+      ++stats_.rejected_imports;
+      continue;
+    }
+    ++stats_.imported_pbs;
+    if (!add_pb(std::move(imported))) return false;
   }
   return true;
 }
@@ -1295,6 +1372,10 @@ TierCounts CdclSolver::learned_tier_counts() const {
 
 SolveResult CdclSolver::solve(const Deadline& deadline,
                               std::span<const Lit> assumptions) {
+  // The core is an artifact of one Unsat-under-assumptions answer; every
+  // other outcome leaves it empty (Unsat with an empty core means the
+  // formula is unsatisfiable regardless of assumptions).
+  core_.clear();
   if (!ok_) return SolveResult::Unsat;
   // Rebuild hooks for the flat pools: incremental add_clause/add_pb since
   // the last solve appended through the growth path; re-compact to CSR
@@ -1461,6 +1542,7 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
                 } else {
                   const std::uint32_t idx =
                       attach_learned_pb(pl.terms, pl.degree, pl.glue);
+                  maybe_export_pb(pl.terms, pl.degree, pl.glue);
                   const std::int64_t slack = pbs_[idx].slack;
                   if (slack < 0) {
                     conflict = {ReasonKind::PbRef, idx};
@@ -1550,8 +1632,12 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
         if (value(a) == LBool::True) {
           new_decision_level();  // already satisfied: dummy level
         } else if (value(a) == LBool::False) {
+          // Unsat under assumptions: the prefix taken so far already
+          // implies ~a. Extract the failed-assumption core while the
+          // implication graph is still standing, then unwind.
+          analyze_final(a);
           backtrack(0);
-          return SolveResult::Unsat;  // unsat under assumptions
+          return SolveResult::Unsat;
         } else {
           next = a;
           break;

@@ -286,13 +286,23 @@ class CdclSolver final : public SolverEngine {
 
   /// Solve under optional assumptions. Returns Unknown on deadline or
   /// conflict-budget exhaustion (or when the interrupt flag trips). Can
-  /// be called repeatedly; learned clauses persist across calls.
+  /// be called repeatedly; learned clauses persist across calls. Every
+  /// exit path backtracks to level 0 first, so no assumption state
+  /// survives the call and clone() right after is always valid.
   SolveResult solve(const Deadline& deadline = {},
                     std::span<const Lit> assumptions = {}) override;
 
   /// Complete model from the last Sat answer, indexed by variable.
   [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
     return model_;
+  }
+
+  /// Failed-assumption core of the last Unsat answer (see SolverEngine);
+  /// computed by analyze_final() before the exit backtrack unwinds the
+  /// implication graph it walks. Empty when unsatisfiability does not
+  /// depend on the assumptions.
+  [[nodiscard]] std::span<const Lit> last_core() const noexcept override {
+    return core_;
   }
 
   [[nodiscard]] const SolverStats& stats() const noexcept override {
@@ -315,6 +325,7 @@ class CdclSolver final : public SolverEngine {
     hooks_.sharing = sharing;
     hooks_.worker_id = worker_id;
     hooks_.import_cursor = 0;
+    hooks_.pb_import_cursor = 0;
   }
   /// Cooperative cancellation: solve() polls the flag on the same coarse
   /// cadence as the deadline and returns Unknown once it is set.
@@ -471,6 +482,15 @@ class CdclSolver final : public SolverEngine {
   /// the backjump-level scan so the glue costs no extra pass.
   void analyze(Conflict conflict, std::vector<Lit>* learnt, int* backjump,
                int* lbd);
+  /// Final-conflict analysis (MiniSat's analyzeFinal over assumption
+  /// pseudo-decisions): called when pending assumption `failed` is already
+  /// false under the assumption prefix taken so far. Walks reasons from
+  /// ~failed back through the trail; every reason-less (pseudo-decision)
+  /// literal reached is an assumption the conflict depends on. Fills
+  /// core_ with `failed` plus those assumptions — a subset of the
+  /// caller's assumptions that is jointly unsatisfiable with the formula.
+  /// Must run before the exit backtrack(0).
+  void analyze_final(Lit failed);
 
   // ---- cutting-planes PB conflict analysis ----
   /// What analyze_pb produced. Learned carries either a PB resolvent
@@ -588,13 +608,18 @@ class CdclSolver final : public SolverEngine {
   /// Publish a freshly learnt clause to the sharing sink when its glue
   /// qualifies (called for learnt units too, as glue 1).
   void maybe_export(std::span<const Lit> learnt, int lbd);
-  /// Absorb every foreign clause published since the import cursor (must
-  /// be at decision level 0 — restart boundaries and solve entry). The
-  /// importer re-checks its own size/LBD admission caps (share_max_lbd /
-  /// share_max_size; rejections counted in stats().rejected_imports), and
-  /// a foreign clause that is empty — or all-false — under the level-0
-  /// assignment derives unsatisfiability explicitly. Returns false when
-  /// an import derives level-0 unsatisfiability.
+  /// Publish a freshly learned PB row (cutting-planes resolvent) under
+  /// the same glue/size admission caps as clause exports.
+  void maybe_export_pb(std::span<const PbTerm> terms, std::int64_t degree,
+                       int glue);
+  /// Absorb every foreign clause and PB row published since the import
+  /// cursors (must be at decision level 0 — restart boundaries and solve
+  /// entry). The importer re-checks its own size/LBD admission caps
+  /// (share_max_lbd / share_max_size; rejections counted in
+  /// stats().rejected_imports), and a foreign constraint that is empty —
+  /// or falsified — under the level-0 assignment derives unsatisfiability
+  /// explicitly. Returns false when an import derives level-0
+  /// unsatisfiability.
   bool drain_imports();
 
   // ---- state ----
@@ -682,6 +707,7 @@ class CdclSolver final : public SolverEngine {
     ClauseSharing* sharing = nullptr;
     int worker_id = 0;
     std::size_t import_cursor = 0;
+    std::size_t pb_import_cursor = 0;
     const std::atomic<bool>* stop = nullptr;
     PortfolioHooks() = default;
     PortfolioHooks(const PortfolioHooks&) noexcept {}  // copy = detach
@@ -689,8 +715,10 @@ class CdclSolver final : public SolverEngine {
   };
   PortfolioHooks hooks_;
   std::vector<SharedClause> import_buf_;  // drain_imports scratch
+  std::vector<SharedPb> pb_import_buf_;   // drain_imports scratch (PB rows)
 
   std::vector<LBool> model_;
+  std::vector<Lit> core_;  // failed-assumption core of the last Unsat
   bool ok_ = true;  // false once level-0 conflict derived
   std::int64_t learnt_count_ = 0;
   double max_learnts_ = 0.0;

@@ -90,9 +90,36 @@ void ClauseExchange::import_clauses(int worker, std::size_t* cursor,
   *cursor = entries_.size();
 }
 
+bool ClauseExchange::export_pb(int worker, std::span<const PbTerm> terms,
+                               std::int64_t degree, int lbd) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (pb_entries_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  pb_entries_.push_back(
+      {worker, {std::vector<PbTerm>(terms.begin(), terms.end()), degree, lbd}});
+  return true;
+}
+
+void ClauseExchange::import_pbs(int worker, std::size_t* cursor,
+                                std::vector<SharedPb>* out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = *cursor; i < pb_entries_.size(); ++i) {
+    if (pb_entries_[i].worker == worker) continue;  // own export
+    out->push_back(pb_entries_[i].pb);
+  }
+  *cursor = pb_entries_.size();
+}
+
 std::size_t ClauseExchange::exported() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+std::size_t ClauseExchange::exported_pbs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pb_entries_.size();
 }
 
 std::size_t ClauseExchange::dropped() const {
@@ -118,8 +145,9 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
     const SolveResult r = master_.solve(deadline, assumptions);
     stats_ = master_.stats();
     if (r == SolveResult::Sat) model_ = master_.model();
+    core_.assign(master_.last_core().begin(), master_.last_core().end());
     last_winner_ = r == SolveResult::Unknown ? -1 : 0;
-    last_exported_ = last_dropped_ = 0;
+    last_exported_ = last_exported_pbs_ = last_dropped_ = 0;
     return r;
   }
 
@@ -205,8 +233,10 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
   }
 
   last_exported_ = exchange.exported();
+  last_exported_pbs_ = exchange.exported_pbs();
   last_dropped_ = exchange.dropped();
   last_winner_ = winner;
+  core_.clear();
   if (winner < 0) {
     stats_ = master_.stats();
     return SolveResult::Unknown;  // deadline expired everywhere
@@ -224,6 +254,9 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
   CdclSolver* win = workers[static_cast<std::size_t>(winner)];
   stats_ = win->stats();
   if (answer == SolveResult::Sat) model_ = win->model();
+  if (answer == SolveResult::Unsat) {
+    core_.assign(win->last_core().begin(), win->last_core().end());
+  }
   return answer;
 }
 

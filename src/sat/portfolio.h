@@ -18,10 +18,12 @@
 //     worker index (identical clones must not explore identical trees).
 //
 // Workers exchange core-tier learnt clauses (glue <= share_max_lbd,
-// learnt units included) through a bounded, mutex-guarded ClauseExchange:
+// learnt units included) AND learned PB rows (cutting-planes resolvents
+// from workers running PbAnalysis::CuttingPlanes, under the same glue and
+// size admission caps) through a bounded, mutex-guarded ClauseExchange:
 // exports happen at learn time, imports are drained at restart
-// boundaries, where adding a foreign clause is an ordinary level-0
-// clause addition — the sharing architecture proven out in
+// boundaries, where adding a foreign constraint is an ordinary level-0
+// addition — the sharing architecture proven out in
 // CryptoMiniSat/ManySAT. The first worker to reach a definitive answer
 // wins: it flips the shared stop flag, the losers bail out at their next
 // deadline poll, and the winner's model/stats are surfaced.
@@ -61,10 +63,12 @@ namespace symcolor {
 [[nodiscard]] SolverConfig diversify_config(const SolverConfig& base,
                                             int index);
 
-/// Bounded, mutex-guarded clause pool: append-only entries tagged with
-/// the exporting worker; per-worker cursors make import a scan of the
-/// tail published since the caller last drained. Exports past `capacity`
-/// are counted and dropped (bounding both memory and import work).
+/// Bounded, mutex-guarded constraint pool: append-only entries tagged
+/// with the exporting worker; per-worker cursors make import a scan of
+/// the tail published since the caller last drained. Clauses and learned
+/// PB rows (cutting-planes resolvents) travel in separate lanes, each
+/// bounded by `capacity`; exports past it are counted and dropped
+/// (bounding both memory and import work).
 class ClauseExchange final : public ClauseSharing {
  public:
   explicit ClauseExchange(std::size_t capacity) : capacity_(capacity) {}
@@ -73,8 +77,13 @@ class ClauseExchange final : public ClauseSharing {
                      int lbd) override;
   void import_clauses(int worker, std::size_t* cursor,
                       std::vector<SharedClause>* out) override;
+  bool export_pb(int worker, std::span<const PbTerm> terms,
+                 std::int64_t degree, int lbd) override;
+  void import_pbs(int worker, std::size_t* cursor,
+                  std::vector<SharedPb>* out) override;
 
   [[nodiscard]] std::size_t exported() const;
+  [[nodiscard]] std::size_t exported_pbs() const;
   [[nodiscard]] std::size_t dropped() const;
 
  private:
@@ -82,8 +91,13 @@ class ClauseExchange final : public ClauseSharing {
     int worker;
     SharedClause clause;
   };
+  struct PbEntry {
+    int worker;
+    SharedPb pb;
+  };
   mutable std::mutex mutex_;
   std::vector<Entry> entries_;
+  std::vector<PbEntry> pb_entries_;
   std::size_t capacity_;
   std::size_t dropped_ = 0;
 };
@@ -101,6 +115,14 @@ class PortfolioSolver final : public SolverEngine {
                     std::span<const Lit> assumptions = {}) override;
   [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
     return model_;
+  }
+  /// Failed-assumption core of the last Unsat answer — the WINNING
+  /// worker's core (each worker runs its own final-conflict analysis, so
+  /// diversified workers can return different, equally valid cores; the
+  /// race surfaces whichever finished first, deterministic mode the
+  /// lowest-indexed one).
+  [[nodiscard]] std::span<const Lit> last_core() const noexcept override {
+    return core_;
   }
   /// Stats of the most recent winning worker (the losers' partial work
   /// is reported through last_exchange_* below, not folded in here).
@@ -122,6 +144,9 @@ class PortfolioSolver final : public SolverEngine {
   [[nodiscard]] std::size_t last_exchange_exported() const noexcept {
     return last_exported_;
   }
+  [[nodiscard]] std::size_t last_exchange_exported_pbs() const noexcept {
+    return last_exported_pbs_;
+  }
   [[nodiscard]] std::size_t last_exchange_dropped() const noexcept {
     return last_dropped_;
   }
@@ -132,9 +157,11 @@ class PortfolioSolver final : public SolverEngine {
   SolverConfig config_;
   CdclSolver master_;
   std::vector<LBool> model_;
+  std::vector<Lit> core_;
   SolverStats stats_;
   int last_winner_ = -1;
   std::size_t last_exported_ = 0;
+  std::size_t last_exported_pbs_ = 0;
   std::size_t last_dropped_ = 0;
 };
 

@@ -4,8 +4,13 @@
 // Every consumer of SAT/PB solving in this codebase (the 0-1 ILP
 // optimization loops in pb/optimizer, the incremental SAT-loop colorer in
 // coloring/cnf_coloring, the CLI) drives a solver exclusively through this
-// interface: add constraints, solve under assumptions, read the model and
-// stats, clone. The two implementations are
+// interface: add constraints, solve under assumptions, read the model,
+// the failed-assumption core and stats, clone. Assumptions are the
+// universal retraction mechanism of the pipeline — every optimization
+// loop expresses "objective <= W" as a single assumption on a selector
+// ladder and keeps ONE engine (and its learned state) across all probes;
+// last_core() is what lets core-guided search lift lower bounds from
+// Unsat answers. The two implementations are
 //   * CdclSolver (sat/cdcl.h) — the sequential CDCL(+PB) engine, and
 //   * PortfolioSolver (sat/portfolio.h) — N diversified CdclSolver workers
 //     spawned by cloning one master, racing on threads with core-clause
@@ -82,10 +87,16 @@ struct SolverStats {
   std::int64_t exported_clauses = 0;
   /// Clauses this solver absorbed from other portfolio workers.
   std::int64_t imported_clauses = 0;
-  /// Foreign clauses dropped at import time for failing the importer's own
-  /// size/LBD caps (share_max_lbd / share_max_size re-checked on arrival —
-  /// diversified workers need not trust the exporter's thresholds).
+  /// Foreign clauses/PB rows dropped at import time for failing the
+  /// importer's own size/LBD caps (share_max_lbd / share_max_size
+  /// re-checked on arrival — diversified workers need not trust the
+  /// exporter's thresholds).
   std::int64_t rejected_imports = 0;
+  /// Learned PB rows (cutting-planes resolvents) this solver published to
+  /// its ClauseSharing sink.
+  std::int64_t exported_pbs = 0;
+  /// Learned PB rows this solver absorbed from other portfolio workers.
+  std::int64_t imported_pbs = 0;
 
   // ---- PB conflict analysis (cutting planes) ----
   /// PB constraints learned by cutting-planes conflict analysis.
@@ -107,6 +118,18 @@ struct SharedClause {
   int lbd = 0;
 };
 
+/// A learned PB row in transit between portfolio workers: a cutting-planes
+/// resolvent (sum terms >= degree, terms in descending-coefficient order)
+/// tagged with its learn-time glue equivalent. Like learnt clauses, these
+/// rows are consequences of the shared formula — conflict analysis never
+/// resolves on assumption pseudo-decisions — so an importer may attach one
+/// as an ordinary level-0 PB addition.
+struct SharedPb {
+  std::vector<PbTerm> terms;
+  std::int64_t degree = 0;
+  int lbd = 0;
+};
+
 /// Shared clause pool between portfolio workers. Implementations must be
 /// safe to call from multiple worker threads concurrently.
 class ClauseSharing {
@@ -123,6 +146,20 @@ class ClauseSharing {
   /// past them.
   virtual void import_clauses(int worker, std::size_t* cursor,
                               std::vector<SharedClause>* out) = 0;
+
+  /// Publish a learned PB row (a cutting-planes resolvent; terms in
+  /// descending-coefficient order, glue measured at learn time). The
+  /// default refuses every row, so clause-only sharing implementations
+  /// keep working unchanged.
+  virtual bool export_pb(int /*worker*/, std::span<const PbTerm> /*terms*/,
+                         std::int64_t /*degree*/, int /*lbd*/) {
+    return false;
+  }
+  /// Append every PB row published since `*cursor` by a worker other than
+  /// `worker` to `out`, and advance the cursor past them. Default: no-op
+  /// (nothing was accepted by the default export_pb).
+  virtual void import_pbs(int /*worker*/, std::size_t* /*cursor*/,
+                          std::vector<SharedPb>* /*out*/) {}
 };
 
 /// Abstract solve backend: incremental constraint addition, assumption
@@ -140,12 +177,22 @@ class SolverEngine {
 
   /// Solve under optional assumptions. Returns Unknown on deadline or
   /// budget exhaustion (or cooperative interruption). Can be called
-  /// repeatedly; learned state persists across calls.
+  /// repeatedly; learned state persists across calls. No assumption state
+  /// outlives the call: on return the solver is quiescent (clone() is
+  /// valid) and a later solve() with different assumptions starts clean.
   virtual SolveResult solve(const Deadline& deadline = {},
                             std::span<const Lit> assumptions = {}) = 0;
 
   /// Complete model from the last Sat answer, indexed by variable.
   [[nodiscard]] virtual const std::vector<LBool>& model() const noexcept = 0;
+
+  /// Failed-assumption core from the last Unsat answer: a subset of the
+  /// assumptions passed to that solve() whose conjunction is already
+  /// unsatisfiable with the formula (final-conflict analysis over the
+  /// assumption pseudo-decisions, MiniSat's analyzeFinal). Empty when the
+  /// formula is unsatisfiable on its own — an empty core is the
+  /// Unsat-without-assumptions certificate — and after Sat/Unknown.
+  [[nodiscard]] virtual std::span<const Lit> last_core() const noexcept = 0;
 
   [[nodiscard]] virtual const SolverStats& stats() const noexcept = 0;
   [[nodiscard]] virtual int num_vars() const noexcept = 0;

@@ -194,19 +194,30 @@ TEST(SatLoop, FindsChromaticNumbers) {
             5);
 }
 
-TEST(SatLoop, BinaryAndLinearAgree) {
-  SatLoopOptions descending;
-  SatLoopOptions binary;
-  binary.binary_search = true;
+TEST(SatLoop, AllSearchStrategiesAgree) {
+  // Linear, binary and core-guided searches over K must reach the same
+  // chromatic number, in both the per-K-rebuild and the incremental
+  // (one persistent engine, y(k)-assumption) pipelines.
   for (std::uint64_t seed = 10; seed < 16; ++seed) {
     const Graph g = make_random_gnm(12, 30, seed);
-    const SatLoopResult a = solve_coloring_sat_loop(g, descending);
-    const SatLoopResult b = solve_coloring_sat_loop(g, binary);
-    ASSERT_EQ(a.status, OptStatus::Optimal);
-    ASSERT_EQ(b.status, OptStatus::Optimal);
-    EXPECT_EQ(a.num_colors, b.num_colors) << "seed=" << seed;
-    EXPECT_EQ(a.num_colors, dsatur_branch_and_bound(g).num_colors);
-    EXPECT_TRUE(g.is_proper_coloring(a.coloring));
+    const int expected = dsatur_branch_and_bound(g).num_colors;
+    for (const bool incremental : {false, true}) {
+      for (const SearchStrategy strategy :
+           {SearchStrategy::Linear, SearchStrategy::Binary,
+            SearchStrategy::CoreGuided}) {
+        SatLoopOptions options;
+        options.incremental = incremental;
+        options.search = strategy;
+        const SatLoopResult r = solve_coloring_sat_loop(g, options);
+        ASSERT_EQ(r.status, OptStatus::Optimal)
+            << "seed=" << seed << " incremental=" << incremental
+            << " strategy=" << search_strategy_name(strategy);
+        EXPECT_EQ(r.num_colors, expected)
+            << "seed=" << seed << " incremental=" << incremental
+            << " strategy=" << search_strategy_name(strategy);
+        EXPECT_TRUE(g.is_proper_coloring(r.coloring));
+      }
+    }
   }
 }
 

@@ -72,17 +72,25 @@ TEST(ExactColorer, TimeBudgetHonored) {
   EXPECT_LT(r.total_seconds, 5.0);
 }
 
-TEST(ExactColorer, BinarySearchMatchesLinear) {
+TEST(ExactColorer, AllSearchStrategiesAgree) {
   ColoringOptions linear;
   linear.max_colors = 7;
+  // NU+SC keeps the low-bound UNSAT probes cheap; the no-SBP strategy
+  // sweep lives in test_property's StrategyAgreement.
+  linear.sbps = SbpOptions::nu_sc();
   ColoringOptions binary = linear;
-  binary.binary_search = true;
+  binary.search = SearchStrategy::Binary;
+  ColoringOptions core = linear;
+  core.search = SearchStrategy::CoreGuided;
   const Graph g = make_myciel_dimacs(4);
   const ColoringOutcome a = solve_coloring(g, linear);
   const ColoringOutcome b = solve_coloring(g, binary);
+  const ColoringOutcome c = solve_coloring(g, core);
   ASSERT_EQ(a.status, OptStatus::Optimal);
   ASSERT_EQ(b.status, OptStatus::Optimal);
+  ASSERT_EQ(c.status, OptStatus::Optimal);
   EXPECT_EQ(a.num_colors, b.num_colors);
+  EXPECT_EQ(a.num_colors, c.num_colors);
 }
 
 struct PipelineCase {

@@ -1,11 +1,14 @@
-// Tests for the optimization layer (linear/binary minimization) and the
-// generic branch-and-bound ILP solver (CPLEX stand-in).
+// Tests for the optimization layer (linear/binary/core-guided
+// minimization on one persistent engine), the objective selector ladder,
+// and the generic branch-and-bound ILP solver (CPLEX stand-in).
 
 #include <gtest/gtest.h>
 
+#include "cnf/objective_ladder.h"
 #include "pb/generic_ilp.h"
 #include "pb/optimizer.h"
 #include "pb/solver_profiles.h"
+#include "sat/cdcl.h"
 #include "util/rng.h"
 
 namespace symcolor {
@@ -108,6 +111,175 @@ TEST(MinimizeBinary, InfeasibleReported) {
   for (int i = 0; i < 3; ++i) f.add_unit(Lit::negative(i));
   const OptResult r = minimize_binary(f, {}, {});
   EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(MinimizeCore, MatchesLinearOnCardinalityObjective) {
+  const Formula f = min_true_vars(7, 4);
+  const OptResult lin = minimize_linear(f, {}, {});
+  const OptResult core = minimize(f, {}, {}, SearchStrategy::CoreGuided);
+  EXPECT_EQ(core.status, OptStatus::Optimal);
+  EXPECT_EQ(core.best_value, lin.best_value);
+  EXPECT_TRUE(f.satisfied_by(core.model));
+}
+
+TEST(MinimizeCore, WeightedObjective) {
+  // minimize 5a + b + c subject to a | b, a | c: optimum b=c=1 => 2. The
+  // disjoint-core prelude mines cores over the soft term assumptions and
+  // lifts the lower bound by their minimum weights before bisecting.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  const Var c = f.new_var();
+  f.add_clause({Lit::positive(a), Lit::positive(b)});
+  f.add_clause({Lit::positive(a), Lit::positive(c)});
+  Objective obj;
+  obj.terms = {{5, Lit::positive(a)}, {1, Lit::positive(b)}, {1, Lit::positive(c)}};
+  f.set_objective(obj);
+  const OptResult r = minimize(f, {}, {}, SearchStrategy::CoreGuided);
+  EXPECT_EQ(r.status, OptStatus::Optimal);
+  EXPECT_EQ(r.best_value, 2);
+}
+
+TEST(MinimizeCore, InfeasibleReportedThroughEmptyCore) {
+  Formula f = min_true_vars(3, 2);
+  for (int i = 0; i < 3; ++i) f.add_unit(Lit::negative(i));
+  const OptResult r = minimize(f, {}, {}, SearchStrategy::CoreGuided);
+  EXPECT_EQ(r.status, OptStatus::Infeasible);
+}
+
+TEST(Minimize, AllStrategiesCountProbesOnOneEngine) {
+  // Cumulative engine stats are the zero-rebuild witness: conflicts and
+  // learned clauses keep accumulating across probes instead of resetting
+  // with a fresh solver per probe.
+  const Formula f = min_true_vars(8, 5);
+  for (const SearchStrategy strategy :
+       {SearchStrategy::Linear, SearchStrategy::Binary,
+        SearchStrategy::CoreGuided}) {
+    const OptResult r = minimize(f, {}, {}, strategy);
+    ASSERT_EQ(r.status, OptStatus::Optimal) << search_strategy_name(strategy);
+    EXPECT_EQ(r.best_value, 5);
+    EXPECT_GE(r.probes, 2) << search_strategy_name(strategy);
+  }
+}
+
+// ---- objective selector ladder ----
+
+/// Count assignments of the first `original_vars` variables that extend
+/// to a model of `f` under `assume`.
+int ladder_projected_models(const Formula& f, int original_vars,
+                            std::span<const Lit> assume) {
+  int count = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << original_vars); ++mask) {
+    Formula probe = f;
+    for (int i = 0; i < original_vars; ++i) {
+      probe.add_unit(Lit(static_cast<Var>(i), ((mask >> i) & 1) == 0));
+    }
+    CdclSolver solver(probe);
+    if (solver.solve(Deadline{}, assume) == SolveResult::Sat) ++count;
+  }
+  return count;
+}
+
+TEST(ObjectiveLadder, AtMostMatchesSemanticsOnWeightedObjective) {
+  // Objective 3a + 2b + c: achievable values {0,1,2,3,4,5,6}. For every
+  // bound W the single ladder assumption must admit exactly the
+  // assignments with value <= W.
+  Formula f;
+  Objective obj;
+  obj.terms = {{3, Lit::positive(f.new_var())},
+               {2, Lit::positive(f.new_var())},
+               {1, Lit::positive(f.new_var())}};
+  f.set_objective(obj);
+  ObjectiveLadder ladder(&f, obj);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder.min_value(), 0);
+  EXPECT_EQ(ladder.max_value(), 6);
+  for (std::int64_t w = -1; w <= 6; ++w) {
+    int expected = 0;
+    for (int mask = 0; mask < 8; ++mask) {
+      const std::int64_t value = 3 * (mask & 1) + 2 * ((mask >> 1) & 1) +
+                                 ((mask >> 2) & 1);
+      if (value <= w) ++expected;
+    }
+    const ObjectiveLadder::Bound bound = ladder.at_most(w);
+    if (bound.kind == ObjectiveLadder::Bound::Kind::Infeasible) {
+      EXPECT_EQ(expected, 0) << "W=" << w;
+      continue;
+    }
+    std::vector<Lit> assume;
+    if (bound.kind == ObjectiveLadder::Bound::Kind::Assume) {
+      assume.push_back(bound.lit);
+    }
+    EXPECT_EQ(ladder_projected_models(f, 3, assume), expected) << "W=" << w;
+  }
+}
+
+TEST(ObjectiveLadder, NormalizesNegativeAndDuplicateTerms) {
+  // 2a - 3b + b = 2a - 2b = 2a + 2(~b) - 2: values {-2, 0, 2}.
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  Objective obj;
+  obj.terms = {{2, Lit::positive(a)},
+               {-3, Lit::positive(b)},
+               {1, Lit::positive(b)}};
+  f.set_objective(obj);
+  ObjectiveLadder ladder(&f, obj);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder.min_value(), -2);
+  EXPECT_EQ(ladder.max_value(), 2);
+  EXPECT_EQ(ladder.at_most(-3).kind,
+            ObjectiveLadder::Bound::Kind::Infeasible);
+  EXPECT_EQ(ladder.at_most(2).kind, ObjectiveLadder::Bound::Kind::Free);
+  EXPECT_EQ(ladder.at_most(-2).kind, ObjectiveLadder::Bound::Kind::Assume);
+  // Bound -2 admits only a=0, b=1; bound 1 admits value <= 0 (3 of 4).
+  std::vector<Lit> tight{ladder.at_most(-2).lit};
+  EXPECT_EQ(ladder_projected_models(f, 2, tight), 1);
+  std::vector<Lit> mid{ladder.at_most(1).lit};
+  EXPECT_EQ(ladder_projected_models(f, 2, mid), 3);
+}
+
+TEST(ObjectiveLadder, RefusesPastValueCapWithoutTouchingFormula) {
+  Formula f;
+  Objective obj;
+  // Powers of two: every subset sum is distinct, 2^10 values > cap 64.
+  for (int i = 0; i < 10; ++i) {
+    obj.terms.push_back({std::int64_t{1} << i, Lit::positive(f.new_var())});
+  }
+  f.set_objective(obj);
+  const int vars_before = f.num_vars();
+  const int clauses_before = f.num_clauses();
+  ObjectiveLadder ladder(&f, obj, /*max_values=*/64);
+  EXPECT_FALSE(ladder.ok());
+  EXPECT_EQ(f.num_vars(), vars_before);
+  EXPECT_EQ(f.num_clauses(), clauses_before);
+  // Soft terms stay available for core-guided mining regardless.
+  EXPECT_EQ(ladder.soft_terms().size(), 10u);
+}
+
+TEST(Minimize, LadderFallbackStillReachesTheOptimum) {
+  // Distinct power-of-two weights blow past a small cap inside minimize's
+  // default, but the default cap is 2^16 values — force the fallback by
+  // constructing a wider spread: 20 powers of two exceeds 2^16 distinct
+  // sums as soon as 17 terms can be active. minimize() must still land
+  // on the optimum through permanent-row strengthening.
+  Formula f;
+  Objective obj;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 20; ++i) {
+    const Var v = f.new_var();
+    lits.push_back(Lit::positive(v));
+    obj.terms.push_back({std::int64_t{1} << i, Lit::positive(v)});
+  }
+  f.add_at_least(lits, 1);  // at least one term on; optimum = weight 1
+  f.set_objective(obj);
+  for (const SearchStrategy strategy :
+       {SearchStrategy::Linear, SearchStrategy::Binary,
+        SearchStrategy::CoreGuided}) {
+    const OptResult r = minimize(f, {}, {}, strategy);
+    ASSERT_EQ(r.status, OptStatus::Optimal) << search_strategy_name(strategy);
+    EXPECT_EQ(r.best_value, 1) << search_strategy_name(strategy);
+  }
 }
 
 TEST(GenericIlp, SimpleOptimum) {
@@ -213,12 +385,18 @@ TEST_P(OptimizerSweep, MatchesBruteForce) {
   f.set_objective(obj);
 
   const std::int64_t expected = brute_force_min(f);
-  const OptResult r = minimize_linear(f, profile_config(kind), {});
-  if (expected < 0) {
-    EXPECT_EQ(r.status, OptStatus::Infeasible);
-  } else {
-    EXPECT_EQ(r.status, OptStatus::Optimal);
-    EXPECT_EQ(r.best_value, expected);
+  for (const SearchStrategy strategy :
+       {SearchStrategy::Linear, SearchStrategy::Binary,
+        SearchStrategy::CoreGuided}) {
+    const OptResult r = minimize(f, profile_config(kind), {}, strategy);
+    if (expected < 0) {
+      EXPECT_EQ(r.status, OptStatus::Infeasible)
+          << search_strategy_name(strategy);
+    } else {
+      EXPECT_EQ(r.status, OptStatus::Optimal)
+          << search_strategy_name(strategy);
+      EXPECT_EQ(r.best_value, expected) << search_strategy_name(strategy);
+    }
   }
 
   // The generic B&B must agree as well.

@@ -215,20 +215,30 @@ TEST(Portfolio, IncrementalModelEnumerationMatchesSequential) {
 // ---- 2-vs-1-thread agreement across the call layers ----
 
 TEST(Portfolio, SatLoopAgreesAcrossThreadCounts) {
+  // SatLoopOptions::solver.portfolio_threads is the single source of
+  // truth for the SAT-loop's thread count (the old duplicated
+  // SatLoopOptions::portfolio_threads knob is gone); 1 vs 2 threads must
+  // agree on the optimum, under every search strategy.
   const Graph g = make_myciel_dimacs(3);
   for (const bool incremental : {false, true}) {
-    SatLoopOptions one;
-    one.incremental = incremental;
-    SatLoopOptions two = one;
-    two.portfolio_threads = 2;
-    const SatLoopResult r1 = solve_coloring_sat_loop(g, one);
-    const SatLoopResult r2 = solve_coloring_sat_loop(g, two);
-    ASSERT_EQ(r1.status, OptStatus::Optimal);
-    ASSERT_EQ(r2.status, OptStatus::Optimal);
-    EXPECT_EQ(r1.num_colors, 4);
-    EXPECT_EQ(r2.num_colors, r1.num_colors)
-        << (incremental ? "incremental" : "per-K rebuild");
-    EXPECT_TRUE(g.is_proper_coloring(r2.coloring));
+    for (const SearchStrategy strategy :
+         {SearchStrategy::Linear, SearchStrategy::Binary,
+          SearchStrategy::CoreGuided}) {
+      SatLoopOptions one;
+      one.incremental = incremental;
+      one.search = strategy;
+      SatLoopOptions two = one;
+      two.solver.portfolio_threads = 2;
+      const SatLoopResult r1 = solve_coloring_sat_loop(g, one);
+      const SatLoopResult r2 = solve_coloring_sat_loop(g, two);
+      ASSERT_EQ(r1.status, OptStatus::Optimal);
+      ASSERT_EQ(r2.status, OptStatus::Optimal);
+      EXPECT_EQ(r1.num_colors, 4);
+      EXPECT_EQ(r2.num_colors, r1.num_colors)
+          << (incremental ? "incremental " : "per-K rebuild ")
+          << search_strategy_name(strategy);
+      EXPECT_TRUE(g.is_proper_coloring(r2.coloring));
+    }
   }
 }
 
@@ -249,6 +259,11 @@ TEST(Portfolio, OptimizerAgreesAcrossThreadCounts) {
   const OptResult b2 = minimize_binary(enc.formula, two, Deadline{});
   ASSERT_EQ(b2.status, OptStatus::Optimal);
   EXPECT_EQ(b2.best_value, l1.best_value);
+
+  const OptResult c2 = minimize(enc.formula, two, Deadline{},
+                                SearchStrategy::CoreGuided);
+  ASSERT_EQ(c2.status, OptStatus::Optimal);
+  EXPECT_EQ(c2.best_value, l1.best_value);
 }
 
 // ---- restart blocking ----
@@ -444,6 +459,140 @@ TEST(ClauseImport, UnitConflictingForeignClauseDerivesUnsat) {
   CdclSolver solver(f);
   solver.set_sharing(&exchange, /*worker=*/0);
   EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+// ---- learned-PB sharing across workers ----
+
+TEST(PbShare, ExchangeRoundTripFiltersOwnerAndBoundsCapacity) {
+  ClauseExchange exchange(2);
+  const std::vector<PbTerm> row{{2, Lit::positive(0)}, {1, Lit::positive(1)}};
+  ASSERT_TRUE(exchange.export_pb(/*worker=*/1, row, /*degree=*/2, /*lbd=*/2));
+  EXPECT_EQ(exchange.exported_pbs(), 1u);
+
+  // The exporter never reimports its own row; another worker does, once.
+  std::size_t cursor = 0;
+  std::vector<SharedPb> got;
+  exchange.import_pbs(/*worker=*/1, &cursor, &got);
+  EXPECT_TRUE(got.empty());
+  cursor = 0;
+  exchange.import_pbs(/*worker=*/0, &cursor, &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].degree, 2);
+  EXPECT_EQ(got[0].lbd, 2);
+  EXPECT_EQ(got[0].terms, row);
+  got.clear();
+  exchange.import_pbs(/*worker=*/0, &cursor, &got);  // cursor advanced
+  EXPECT_TRUE(got.empty());
+
+  // The PB lane is bounded by the same capacity as the clause lane.
+  ASSERT_TRUE(exchange.export_pb(2, row, 2, 2));
+  EXPECT_FALSE(exchange.export_pb(2, row, 2, 2));
+  EXPECT_GT(exchange.dropped(), 0u);
+}
+
+TEST(PbShare, ImporterReappliesGlueAndSizeCaps) {
+  Formula f;
+  const Var first = f.new_vars(80);
+  f.add_clause({Lit::positive(first), Lit::positive(first + 1)});
+
+  ClauseExchange exchange(64);
+  const std::vector<PbTerm> good{{2, Lit::positive(first)},
+                                 {1, Lit::positive(first + 1)}};
+  ASSERT_TRUE(exchange.export_pb(/*worker=*/1, good, /*degree=*/2, /*lbd=*/2));
+  ASSERT_TRUE(exchange.export_pb(/*worker=*/1, good, /*degree=*/2, /*lbd=*/9));
+  std::vector<PbTerm> oversized;
+  for (int i = 0; i < 70; ++i) {
+    oversized.push_back({2, Lit::positive(first + i)});
+  }
+  ASSERT_TRUE(
+      exchange.export_pb(/*worker=*/1, oversized, /*degree=*/3, /*lbd=*/1));
+
+  SolverConfig config;  // share_max_lbd = 2, share_max_size = 64
+  CdclSolver solver(f, config);
+  solver.set_sharing(&exchange, /*worker=*/0);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.stats().imported_pbs, 1);
+  EXPECT_EQ(solver.stats().rejected_imports, 2);
+  // The accepted row (2a + b >= 2) forces a (b alone cannot reach 2).
+  EXPECT_EQ(solver.model()[static_cast<std::size_t>(first)], LBool::True);
+}
+
+TEST(PbShare, ForeignRowFalsifiedAtRootDerivesUnsat) {
+  Formula f;
+  const Var a = f.new_var();
+  const Var b = f.new_var();
+  f.add_unit(Lit::negative(a));
+  f.add_unit(Lit::negative(b));
+
+  ClauseExchange exchange(16);
+  const std::vector<PbTerm> foreign{{2, Lit::positive(a)},
+                                    {1, Lit::positive(b)}};
+  ASSERT_TRUE(exchange.export_pb(/*worker=*/1, foreign, /*degree=*/2,
+                                 /*lbd=*/1));
+  CdclSolver solver(f);
+  solver.set_sharing(&exchange, /*worker=*/0);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+}
+
+TEST(PbShare, CuttingPlanesWorkerExportsLearnedRows) {
+  // A solo cutting-planes solver on a PB pigeonhole publishes qualifying
+  // learned rows at learn time (exports do not depend on a race).
+  Formula f;
+  std::vector<std::vector<Var>> in(7);
+  for (int p = 0; p < 7; ++p) {
+    for (int h = 0; h < 6; ++h) {
+      in[static_cast<std::size_t>(p)].push_back(f.new_var());
+    }
+  }
+  for (int p = 0; p < 7; ++p) {
+    Clause c;
+    for (int h = 0; h < 6; ++h) {
+      c.push_back(Lit::positive(
+          in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    f.add_clause(std::move(c));
+  }
+  for (int h = 0; h < 6; ++h) {
+    std::vector<Lit> col;
+    for (int p = 0; p < 7; ++p) {
+      col.push_back(Lit::positive(
+          in[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    f.add_at_most(col, 1);
+  }
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.pb_analysis = PbAnalysis::CuttingPlanes;
+  config.share_max_lbd = 6;
+  ClauseExchange exchange(1 << 12);
+  CdclSolver exporter(f, config);
+  exporter.set_sharing(&exchange, /*worker=*/0);
+  ASSERT_EQ(exporter.solve(), SolveResult::Unsat);
+  ASSERT_GT(exporter.stats().learned_pbs, 0);
+  EXPECT_GT(exporter.stats().exported_pbs, 0);
+  EXPECT_EQ(static_cast<std::size_t>(exporter.stats().exported_pbs),
+            exchange.exported_pbs());
+
+  // A second worker drains those rows soundly: same Unsat answer, rows
+  // counted as PB imports.
+  CdclSolver importer(f, config);
+  importer.set_sharing(&exchange, /*worker=*/1);
+  EXPECT_EQ(importer.solve(), SolveResult::Unsat);
+  EXPECT_GT(importer.stats().imported_pbs, 0);
+}
+
+TEST(PbShare, PortfolioRaceWithPbTrafficStaysSound) {
+  // End-to-end: PB-heavy queen encodings raced at 4 threads (worker 1
+  // always runs cutting planes, so the PB lane sees traffic when rows
+  // qualify) never flip an answer, across interleavings.
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 4;
+  config.share_max_lbd = 4;
+  for (int round = 0; round < 3; ++round) {
+    PortfolioSolver unsat(queen5_formula(4), config);
+    EXPECT_EQ(unsat.solve(), SolveResult::Unsat) << "round " << round;
+    PortfolioSolver sat(queen5_formula(5), config);
+    EXPECT_EQ(sat.solve(), SolveResult::Sat) << "round " << round;
+  }
 }
 
 TEST(ClauseImport, PortfolioRaceSurvivesDegenerateImports) {

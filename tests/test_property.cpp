@@ -49,6 +49,43 @@ TEST_P(RandomGraphChi, ReductionMatchesBnbUnderAllSbpRows) {
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomGraphChi,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+class StrategyAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyAgreement, AllSearchStrategiesMatchBnbAtOneAndTwoThreads) {
+  // Linear, binary and core-guided objective search (all on one
+  // persistent assumption-driven engine) must agree with DSATUR B&B on
+  // randomized graphs, sequentially and under the 2-worker portfolio.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 131 + 7);
+  const int n = 7 + static_cast<int>(rng.below(4));
+  const int m = static_cast<int>(
+      rng.below(static_cast<std::uint64_t>(n * (n - 1) / 2)));
+  const Graph g = make_random_gnm(n, m, seed * 613 + 11);
+  const int chi = dsatur_branch_and_bound(g).num_colors;
+
+  for (const int threads : {1, 2}) {
+    for (const SearchStrategy strategy :
+         {SearchStrategy::Linear, SearchStrategy::Binary,
+          SearchStrategy::CoreGuided}) {
+      ColoringOptions options;
+      options.max_colors = std::min(n, chi + 1);
+      options.search = strategy;
+      options.threads = threads;
+      const ColoringOutcome r = solve_coloring(g, options);
+      ASSERT_EQ(r.status, OptStatus::Optimal)
+          << "seed=" << seed << " strategy=" << search_strategy_name(strategy)
+          << " threads=" << threads;
+      EXPECT_EQ(r.num_colors, chi)
+          << "seed=" << seed << " strategy=" << search_strategy_name(strategy)
+          << " threads=" << threads;
+      EXPECT_TRUE(g.is_proper_coloring(r.coloring));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyAgreement,
+                         ::testing::Range<std::uint64_t>(100, 106));
+
 class RelabelInvariance : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RelabelInvariance, ChromaticNumberInvariant) {

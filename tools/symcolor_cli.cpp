@@ -8,6 +8,10 @@
 //   --sbp <row>     none | nu | ca | li | liq | sc | nu+sc  (default none)
 //   --shatter       add instance-dependent lex-leader SBPs
 //   --solver <s>    pbs | pbs2 | galena | pueblo | generic  (default pbs2)
+//   --search <s>    objective search strategy on ONE persistent engine:
+//                   linear (strengthen from above), binary (bisect), or
+//                   core (UNSAT-core lower-bound lifting); default linear.
+//                   Applies to both the native PB and --satloop pipelines
 //   --threads <n>   racing portfolio workers per CDCL solve (default 1;
 //                   the answer is identical at any thread count)
 //   --timeout <s>   wall budget in seconds (default unlimited)
@@ -38,10 +42,11 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
-               "[--solver s] [--threads n] [--timeout sec]\n"
-               "                    [--decision] [--satloop] [--opb file] "
-               "[--stats]\n"
-               "                    (<graph.col> | --instance <name>)\n");
+               "[--solver s] [--search linear|binary|core]\n"
+               "                    [--threads n] [--timeout sec] "
+               "[--decision] [--satloop]\n"
+               "                    [--opb file] [--stats] "
+               "(<graph.col> | --instance <name>)\n");
 }
 
 std::optional<SbpOptions> parse_sbp(const std::string& name) {
@@ -52,6 +57,13 @@ std::optional<SbpOptions> parse_sbp(const std::string& name) {
   if (name == "liq") return SbpOptions::li_paper();
   if (name == "sc") return SbpOptions::sc_only();
   if (name == "nu+sc") return SbpOptions::nu_sc();
+  return std::nullopt;
+}
+
+std::optional<SearchStrategy> parse_search(const std::string& name) {
+  if (name == "linear") return SearchStrategy::Linear;
+  if (name == "binary") return SearchStrategy::Binary;
+  if (name == "core") return SearchStrategy::CoreGuided;
   return std::nullopt;
 }
 
@@ -71,6 +83,7 @@ int main(int argc, char** argv) {
   SbpOptions sbps;
   bool shatter_flow = false;
   SolverKind solver = SolverKind::PbsII;
+  SearchStrategy search = SearchStrategy::Linear;
   int threads = 1;
   double timeout = 0.0;
   bool decision = false;
@@ -102,6 +115,11 @@ int main(int argc, char** argv) {
       const auto parsed = v != nullptr ? parse_solver(v) : std::nullopt;
       if (!parsed) { usage(); return 3; }
       solver = *parsed;
+    } else if (arg == "--search") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_search(v) : std::nullopt;
+      if (!parsed) { usage(); return 3; }
+      search = *parsed;
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 1) { usage(); return 3; }
@@ -184,7 +202,8 @@ int main(int argc, char** argv) {
     SatLoopOptions options;
     options.sbps = sbps;
     options.time_budget_seconds = timeout;
-    options.portfolio_threads = threads;
+    options.search = search;
+    options.solver.portfolio_threads = threads;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
       std::printf("chromatic number: %d (%d SAT calls, %.3f s)\n",
@@ -200,6 +219,7 @@ int main(int argc, char** argv) {
   options.sbps = sbps;
   options.instance_dependent_sbps = shatter_flow;
   options.solver = solver;
+  options.search = search;
   options.threads = threads;
   options.time_budget_seconds = timeout;
   options.presimplify = presimplify;
