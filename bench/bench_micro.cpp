@@ -86,6 +86,32 @@ void BM_CdclPropagationThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_CdclPropagationThroughput)->Arg(6)->Arg(7)->Arg(8);
 
+// The same fixed-prefix workload driven through a fully armed SolveBudget
+// (wall clock + conflict cap + propagation cap + live interrupt flag that
+// never fires): measures the overhead the resource-control plumbing adds
+// to the hot loop. Gated against BM_CdclPropagationThroughput's rate in CI
+// — the budget checks are a cadence-based poll plus two integer compares
+// per iteration, so the two rates must stay within run-to-run noise.
+void BM_CdclBudgetedSolve(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const Graph g = make_queen_graph(q, q);
+  const ColoringEncoding enc = encode_k_coloring(g, q + 1, SbpOptions::nu_sc());
+  const SolverConfig config = profile_config(SolverKind::PbsII);
+  // Every dimension armed but none reachable: 2000 conflicts bound the
+  // prefix (as in the unbudgeted twin), the rest is pure checking cost.
+  const SolveBudget budget(/*seconds=*/3600.0, /*conflicts=*/2000,
+                           /*propagations=*/std::int64_t{1} << 60);
+  std::int64_t propagations = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve(budget));
+    propagations += solver.stats().propagations;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclBudgetedSolve)->Arg(6)->Arg(7);
+
 // Same workload through the PB-heavy path: at-most-one rows encoded as
 // pseudo-Boolean constraints exercise the cached-slack propagator.
 void BM_CdclPbPropagationThroughput(benchmark::State& state) {

@@ -123,7 +123,17 @@ ColoringEncoding encode_k_coloring_cnf(const Graph& graph, int max_colors,
 SatLoopResult solve_coloring_sat_loop(const Graph& graph,
                                       const SatLoopOptions& options) {
   Timer timer;
-  Deadline deadline(options.time_budget_seconds);
+  // The whole loop runs under one budget: a child of the caller's when one
+  // is supplied (inheriting its deadline/interrupt and clamped to its
+  // counted caps), a fresh one otherwise. A ledger spreads the counted
+  // caps across the individual SAT calls.
+  const SolveBudget budget =
+      options.budget != nullptr
+          ? options.budget->child(options.time_budget_seconds,
+                                  options.conflict_budget, options.prop_budget)
+          : SolveBudget(options.time_budget_seconds, options.conflict_budget,
+                        options.prop_budget);
+  BudgetLedger ledger(budget);
   SatLoopResult result;
 
   if (graph.num_vertices() == 0) {
@@ -183,6 +193,30 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
     }
   };
 
+  // Shared probe wrapper: refuse once the ledger is spent (so a budget trip
+  // inside one query ends the whole loop), hand each SAT call a remainder
+  // slice, and charge back what it consumed.
+  const auto budgeted_solve = [&](SolverEngine& solver,
+                                  std::span<const Lit> assume) -> SolveResult {
+    const BudgetTrip pre = ledger.trip();
+    if (pre != BudgetTrip::None) {
+      result.tripped = pre;
+      return SolveResult::Unknown;
+    }
+    ++result.sat_calls;
+    const SolveBudget slice = ledger.probe();
+    const std::int64_t conflicts_before = solver.stats().conflicts;
+    const std::int64_t props_before = solver.stats().propagations;
+    const SolveResult r = solver.solve(slice, assume);
+    ledger.charge(solver.stats().conflicts - conflicts_before,
+                  solver.stats().propagations - props_before);
+    if (r == SolveResult::Unknown) {
+      const BudgetTrip trip = solver.last_trip();
+      result.tripped = trip != BudgetTrip::None ? trip : ledger.trip();
+    }
+    return r;
+  };
+
   if (options.incremental) {
     // One encoding at the upper bound; NU makes color usage a prefix, so
     // assuming ~y(k) asserts "at most k colors" — the y block IS a
@@ -197,9 +231,8 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
     const std::unique_ptr<SolverEngine> solver =
         make_solver_engine(enc.formula, options.solver);
     run_search([&](int k) {
-      ++result.sat_calls;
       const std::vector<Lit> assume{Lit::negative(enc.y(k))};
-      const SolveResult r = solver->solve(deadline, assume);
+      const SolveResult r = budgeted_solve(*solver, assume);
       if (r == SolveResult::Sat) {
         best_coloring = enc.decode(solver->model());
         upper = Graph::count_colors(best_coloring);
@@ -218,8 +251,7 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
           encode_k_coloring_cnf(graph, k, options.amo, options.sbps);
       const std::unique_ptr<SolverEngine> solver =
           make_solver_engine(enc.formula, options.solver);
-      ++result.sat_calls;
-      const SolveResult r = solver->solve(deadline);
+      const SolveResult r = budgeted_solve(*solver, {});
       if (r == SolveResult::Sat) {
         best_coloring = enc.decode(solver->model());
         upper = Graph::count_colors(best_coloring);
@@ -230,7 +262,13 @@ SatLoopResult solve_coloring_sat_loop(const Graph& graph,
 
   result.num_colors = upper;
   result.coloring = best_coloring;
+  // Graceful degradation: the DSATUR seed guarantees a feasible coloring,
+  // so a budgeted exit is always Feasible with the best one found and the
+  // tightest PROVEN lower bound (clique seed, lifted by Unsat queries).
   result.status = timed_out ? OptStatus::Feasible : OptStatus::Optimal;
+  result.lower_bound = timed_out ? lower : upper;
+  result.budget_exhausted = timed_out;
+  if (!timed_out) result.tripped = BudgetTrip::None;
   result.seconds = timer.seconds();
   return result;
 }

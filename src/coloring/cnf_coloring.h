@@ -66,14 +66,30 @@ struct SatLoopOptions {
   /// machinery the PB optimizer's selector ladder generalizes). Learned
   /// clauses survive across queries, under every search strategy.
   bool incremental = false;
+  /// Whole-run conflict / propagation budgets across ALL SAT calls
+  /// (<= 0 = unlimited); spread over the queries by a BudgetLedger.
+  std::int64_t conflict_budget = 0;
+  std::int64_t prop_budget = 0;
+  /// Optional external budget (not owned; must outlive the call). The run
+  /// executes under a child of it, so the caller's deadline and
+  /// interrupt() preempt the whole loop and the caller's counted caps
+  /// bound it. The per-run knobs above still apply (tightest wins).
+  const SolveBudget* budget = nullptr;
 };
 
 struct SatLoopResult {
   OptStatus status = OptStatus::Unknown;
   int num_colors = -1;
   std::vector<int> coloring;
+  /// Tightest PROVEN lower bound on the chromatic number: the greedy
+  /// clique, lifted by every Unsat K-query. Equals num_colors when status
+  /// is Optimal; on a budgeted exit chi lies in [lower_bound, num_colors].
+  int lower_bound = 0;
   int sat_calls = 0;
   double seconds = 0.0;
+  /// Which resource bound cut the loop short (None when Optimal).
+  BudgetTrip tripped = BudgetTrip::None;
+  bool budget_exhausted = false;
 };
 
 /// Minimize the number of colors by repeated CNF K-coloring queries.

@@ -1,8 +1,10 @@
 #include "coloring/exact_colorer.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "cnf/simplify.h"
+#include "graph/clique.h"
 
 namespace symcolor {
 namespace {
@@ -10,7 +12,15 @@ namespace {
 ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
                              bool optimization) {
   Timer total;
-  Deadline deadline(options.time_budget_seconds);
+  // One budget covers the pipeline end to end — symmetry detection AND
+  // solving. A child of the caller's budget when one is supplied (so an
+  // external interrupt() or tighter cap preempts us), fresh otherwise.
+  const SolveBudget budget =
+      options.budget != nullptr
+          ? options.budget->child(options.time_budget_seconds,
+                                  options.conflict_budget, options.prop_budget)
+          : SolveBudget(options.time_budget_seconds, options.conflict_budget,
+                        options.prop_budget);
 
   ColoringOutcome outcome;
   Timer encode_timer;
@@ -23,7 +33,7 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
 
   if (options.instance_dependent_sbps) {
     const ShatterStats stats =
-        shatter(enc.formula, deadline, options.sbp_max_support);
+        shatter(enc.formula, budget.deadline(), options.sbp_max_support);
     outcome.symmetry = stats.symmetry;
     outcome.inst_dep_sbp_clauses = stats.sbp.clauses_added;
   }
@@ -39,17 +49,28 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
   Timer solve_timer;
   OptResult result;
   if (options.solver == SolverKind::GenericIlp) {
-    result = solve_generic_ilp(enc.formula, deadline);
+    result = solve_generic_ilp(enc.formula, budget);
   } else {
     SolverConfig config = profile_config(options.solver);
     config.portfolio_threads = options.threads;
     result = optimization
-                 ? minimize(enc.formula, config, deadline, options.search)
-                 : solve_decision(enc.formula, config, deadline);
+                 ? minimize(enc.formula, config, budget, options.search)
+                 : solve_decision(enc.formula, config, budget);
   }
   outcome.solve_seconds = solve_timer.seconds();
   outcome.solver_stats = result.stats;
   outcome.status = result.status;
+  outcome.lower_bound = result.lower_bound;
+  if (optimization && result.budget_exhausted) {
+    // A clique is a chromatic-number proof too: a budgeted exit before the
+    // objective search proved anything would otherwise degrade to the
+    // trivial bound 0 even on graphs with large obvious cliques.
+    outcome.lower_bound =
+        std::max(outcome.lower_bound,
+                 static_cast<std::int64_t>(greedy_clique(graph).size()));
+  }
+  outcome.tripped = result.tripped;
+  outcome.budget_exhausted = result.budget_exhausted;
 
   if (!result.model.empty()) {
     outcome.coloring = enc.decode(result.model);

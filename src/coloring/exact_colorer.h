@@ -45,6 +45,16 @@ struct ColoringOptions {
   /// 1 = the plain sequential engine. The reported optimum is identical
   /// at any thread count. Ignored by SolverKind::GenericIlp.
   int threads = 1;
+  /// Whole-pipeline conflict / propagation budgets across all CDCL probes
+  /// (<= 0 = unlimited; ignored by SolverKind::GenericIlp, whose search
+  /// has no comparable counters).
+  std::int64_t conflict_budget = 0;
+  std::int64_t prop_budget = 0;
+  /// Optional external budget (not owned; must outlive the call). The
+  /// pipeline runs under a child of it: the caller's deadline, counted
+  /// caps, and async interrupt() all preempt the run. The per-run knobs
+  /// above still apply on top (tightest wins).
+  const SolveBudget* budget = nullptr;
 };
 
 struct ColoringOutcome {
@@ -55,6 +65,14 @@ struct ColoringOutcome {
   OptStatus status = OptStatus::Unknown;
   int num_colors = -1;
   std::vector<int> coloring;  ///< per-vertex colors, empty unless found
+  /// Tightest PROVEN lower bound on the objective (optimization runs):
+  /// equals num_colors when Optimal; on a budgeted Feasible exit the
+  /// chromatic number lies in [lower_bound, num_colors].
+  std::int64_t lower_bound = 0;
+  /// Which resource bound cut the run short (None on a proof), and
+  /// whether the exit was budget-driven rather than a proof.
+  BudgetTrip tripped = BudgetTrip::None;
+  bool budget_exhausted = false;
 
   // Pipeline statistics.
   int formula_vars = 0;

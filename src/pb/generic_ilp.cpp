@@ -14,8 +14,8 @@ namespace {
 /// behaviour we want to model for the SBP-overhead experiments).
 class BnbSearch {
  public:
-  BnbSearch(const Formula& formula, const Deadline& deadline)
-      : deadline_(deadline), num_vars_(formula.num_vars()) {
+  BnbSearch(const Formula& formula, const SolveBudget& budget)
+      : budget_(budget), num_vars_(formula.num_vars()) {
     values_.assign(static_cast<std::size_t>(num_vars_), LBool::Undef);
     occurrences_.assign(static_cast<std::size_t>(2 * num_vars_), {});
     occurrence_count_.assign(static_cast<std::size_t>(num_vars_), 0);
@@ -79,6 +79,13 @@ class BnbSearch {
       result.status = complete ? OptStatus::Optimal : OptStatus::Feasible;
       result.best_value = incumbent_;
       result.model = best_model_;
+      if (complete) result.lower_bound = incumbent_;
+    }
+    if (!complete) {
+      // The exhaustive DFS was cut short: record what preempted it. (The
+      // condition that stopped search() still holds here.)
+      result.tripped = budget_.poll();
+      result.budget_exhausted = true;
     }
     return result;
   }
@@ -201,9 +208,12 @@ class BnbSearch {
     return kNoVar;
   }
 
-  /// Returns true if the subtree was exhausted (false on deadline).
+  /// Returns true if the subtree was exhausted (false on a budget trip).
   bool search(int depth) {
-    if ((++stats_.decisions & 0x3FF) == 0 && deadline_.expired()) return false;
+    if ((++stats_.decisions & 0x3FF) == 0 &&
+        budget_.poll() != BudgetTrip::None) {
+      return false;
+    }
     if (has_objective_ && objective_now_ >= incumbent_) return true;  // bound
 
     const Var v = next_branch_var();
@@ -242,7 +252,7 @@ class BnbSearch {
     return true;
   }
 
-  const Deadline& deadline_;
+  const SolveBudget& budget_;
   int num_vars_;
   std::vector<Row> rows_;
   std::vector<std::vector<Occ>> occurrences_;
@@ -267,13 +277,14 @@ class BnbSearch {
 
 }  // namespace
 
-OptResult solve_generic_ilp(const Formula& formula, const Deadline& deadline) {
+OptResult solve_generic_ilp(const Formula& formula,
+                            const SolveBudget& budget) {
   if (formula.trivially_unsat()) {
     OptResult result;
     result.status = OptStatus::Infeasible;
     return result;
   }
-  BnbSearch search(formula, deadline);
+  BnbSearch search(formula, budget);
   return search.run();
 }
 

@@ -18,12 +18,17 @@
 
 #include "cnf/formula.h"
 #include "pb/optimizer.h"
+#include "util/budget.h"
 #include "util/timer.h"
 
 namespace symcolor {
 
 /// Minimize the formula's objective (or just decide satisfiability when no
-/// objective is present). Stats fields for learning stay zero.
-OptResult solve_generic_ilp(const Formula& formula, const Deadline& deadline);
+/// objective is present). Stats fields for learning stay zero. The budget's
+/// wall clock and interrupt() are polled on the decision cadence; conflict/
+/// propagation caps are not enforced here (this solver models a generic
+/// ILP engine, whose "conflicts" are not comparable). A budgeted exit
+/// degrades gracefully: Feasible with the incumbent, Unknown without one.
+OptResult solve_generic_ilp(const Formula& formula, const SolveBudget& budget);
 
 }  // namespace symcolor

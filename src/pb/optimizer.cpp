@@ -24,25 +24,51 @@ PbConstraint objective_at_most(const Objective& objective, std::int64_t bound) {
 struct MinimizeRun {
   const Formula& formula;
   const Objective& objective;
-  const Deadline& deadline;
+  const SolveBudget& budget;
+  BudgetLedger ledger;
   OptResult result;
   Timer timer;
   Formula working;
   ObjectiveLadder ladder;
   std::unique_ptr<SolverEngine> engine;
 
-  MinimizeRun(const Formula& f, const SolverConfig& config, const Deadline& d)
+  MinimizeRun(const Formula& f, const SolverConfig& config,
+              const SolveBudget& b)
       : formula(f),
         objective(*f.objective()),
-        deadline(d),
+        budget(b),
+        ledger(b),
         working(f),
         ladder(&working, objective) {
     engine = make_solver_engine(working, config);
+    // The ladder floor (objective value with every normalized term off) is
+    // proven by construction; mining and Unsat probes only lift it.
+    result.lower_bound = ladder.min_value();
   }
 
+  /// One solve against the persistent engine, charged to the run ledger.
+  /// The run's conflict/propagation caps are whole-run budgets: each probe
+  /// gets a child budget carrying only the unspent remainder, and a probe
+  /// is refused outright (Unknown) once the ledger is exhausted. Every
+  /// Unknown records which bound tripped in result.tripped.
   SolveResult probe(std::span<const Lit> assumptions = {}) {
+    const BudgetTrip pre = ledger.trip();
+    if (pre != BudgetTrip::None) {
+      result.tripped = pre;
+      return SolveResult::Unknown;
+    }
     ++result.probes;
-    return engine->solve(deadline, assumptions);
+    const SolveBudget slice = ledger.probe();
+    const std::int64_t conflicts_before = engine->stats().conflicts;
+    const std::int64_t props_before = engine->stats().propagations;
+    const SolveResult r = engine->solve(slice, assumptions);
+    ledger.charge(engine->stats().conflicts - conflicts_before,
+                  engine->stats().propagations - props_before);
+    if (r == SolveResult::Unknown) {
+      const BudgetTrip trip = engine->last_trip();
+      result.tripped = trip != BudgetTrip::None ? trip : ledger.trip();
+    }
+    return r;
   }
 
   void record_incumbent() {
@@ -83,16 +109,41 @@ struct MinimizeRun {
     if (!result.model.empty()) {
       result.model.resize(static_cast<std::size_t>(formula.num_vars()));
     }
+    // Status/bound consistency, enforced in one place:
+    //  * Feasible PROMISES an incumbent — a budgeted exit that never found
+    //    a model must degrade to Unknown, not surface garbage best_value;
+    //  * a proof outcome clears the trip marker (a budget may have been
+    //    configured, but it is not what ended the run);
+    //  * Optimal pins the lower bound to the optimum, and an incumbent
+    //    caps it (the bound can never exceed a witnessed value).
+    if (result.status == OptStatus::Feasible && result.model.empty()) {
+      result.status = OptStatus::Unknown;
+    }
+    if (result.solved()) result.tripped = BudgetTrip::None;
+    if (result.status == OptStatus::Optimal) {
+      result.lower_bound = result.best_value;
+    } else if (!result.model.empty() &&
+               result.lower_bound > result.best_value) {
+      result.lower_bound = result.best_value;
+    }
+    result.budget_exhausted = result.tripped != BudgetTrip::None;
     return result;
   }
 
   /// Bisect [lo, best_value - 1] with ladder assumptions on the one
-  /// engine, starting from a recorded incumbent. Returns the final
-  /// status (Optimal, or Feasible on deadline expiry).
+  /// engine, starting from a recorded incumbent. `lo` must be a proven
+  /// lower bound; every Unsat probe raises it (and result.lower_bound)
+  /// further. Returns the final status (Optimal, or Feasible once the
+  /// budget trips — the incumbent and the proven bound both survive).
   OptStatus bisect(std::int64_t lo) {
+    if (lo > result.lower_bound) result.lower_bound = lo;
     std::int64_t hi = result.best_value - 1;
     while (lo <= hi) {
-      if (deadline.expired()) return OptStatus::Feasible;
+      const BudgetTrip trip = ledger.trip();
+      if (trip != BudgetTrip::None) {
+        result.tripped = trip;
+        return OptStatus::Feasible;
+      }
       const std::int64_t mid = lo + (hi - lo) / 2;
       const ObjectiveLadder::Bound bound = ladder.at_most(mid);
       if (bound.kind == ObjectiveLadder::Bound::Kind::Infeasible) {
@@ -108,9 +159,11 @@ struct MinimizeRun {
         record_incumbent();
         hi = result.best_value - 1;
       } else if (r == SolveResult::Unsat) {
+        // No model at or below mid: the optimum is proven > mid.
         lo = mid + 1;
+        if (lo > result.lower_bound) result.lower_bound = lo;
       } else {
-        return OptStatus::Feasible;
+        return OptStatus::Feasible;  // probe() recorded the trip
       }
     }
     return OptStatus::Optimal;
@@ -167,12 +220,12 @@ const char* search_strategy_name(SearchStrategy strategy) {
 }
 
 OptResult solve_decision(const Formula& formula, const SolverConfig& config,
-                         const Deadline& deadline) {
+                         const SolveBudget& budget) {
   OptResult result;
   Timer timer;
   const std::unique_ptr<SolverEngine> solver =
       make_solver_engine(formula, config);
-  const SolveResult sat = solver->solve(deadline);
+  const SolveResult sat = solver->solve(budget);
   result.probes = 1;
   result.stats = solver->stats();
   result.seconds = timer.seconds();
@@ -189,17 +242,21 @@ OptResult solve_decision(const Formula& formula, const SolverConfig& config,
       result.status = OptStatus::Infeasible;
       return result;
     case SolveResult::Unknown:
+      // A budgeted exit with no model is Unknown, full stop — never
+      // Feasible with an uninitialized bound.
       result.status = OptStatus::Unknown;
+      result.tripped = solver->last_trip();
+      result.budget_exhausted = true;
       return result;
   }
   return result;
 }
 
 OptResult minimize(const Formula& formula, const SolverConfig& config,
-                   const Deadline& deadline, SearchStrategy strategy,
+                   const SolveBudget& budget, SearchStrategy strategy,
                    std::int64_t lower_hint) {
-  if (!formula.objective()) return solve_decision(formula, config, deadline);
-  MinimizeRun run(formula, config, deadline);
+  if (!formula.objective()) return solve_decision(formula, config, budget);
+  MinimizeRun run(formula, config, budget);
 
   // Every strategy opens with an unconstrained probe: Infeasible is
   // decided once, and the incumbent immediately commits the permanent
@@ -232,7 +289,7 @@ OptResult minimize(const Formula& formula, const SolverConfig& config,
     std::int64_t lifted = 0;
     while (!assumptions.empty()) {
       const SolveResult r = run.probe(assumptions);
-      if (r == SolveResult::Unknown) break;  // deadline: bisect reports
+      if (r == SolveResult::Unknown) break;  // budget tripped: bisect reports
       if (r == SolveResult::Sat) {
         // A model with every remaining term off — often far below the
         // incumbent; take it before switching to the bound search.
@@ -266,6 +323,9 @@ OptResult minimize(const Formula& formula, const SolverConfig& config,
       }
     }
     lb += lifted;
+    // Mined cores are proofs: even if the budget trips before bisection,
+    // the lifted floor is a sound bound to hand back.
+    if (lb > run.result.lower_bound) run.result.lower_bound = lb;
   }
 
   if (strategy != SearchStrategy::Linear && run.ladder.ok()) {
@@ -275,13 +335,13 @@ OptResult minimize(const Formula& formula, const SolverConfig& config,
 }
 
 OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
-                          const Deadline& deadline) {
-  return minimize(formula, config, deadline, SearchStrategy::Linear);
+                          const SolveBudget& budget) {
+  return minimize(formula, config, budget, SearchStrategy::Linear);
 }
 
 OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
-                          const Deadline& deadline, std::int64_t lower_hint) {
-  return minimize(formula, config, deadline, SearchStrategy::Binary,
+                          const SolveBudget& budget, std::int64_t lower_hint) {
+  return minimize(formula, config, budget, SearchStrategy::Binary,
                   lower_hint);
 }
 

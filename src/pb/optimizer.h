@@ -47,6 +47,7 @@
 
 #include "cnf/formula.h"
 #include "sat/cdcl.h"
+#include "util/budget.h"
 #include "util/timer.h"
 
 namespace symcolor {
@@ -60,14 +61,15 @@ const char* search_strategy_name(SearchStrategy strategy);
 
 enum class OptStatus {
   Optimal,     ///< best_value proved optimal
-  Feasible,    ///< timeout with an incumbent; best_value is an upper bound
+  Feasible,    ///< budget ran out with an incumbent; best_value is an
+               ///< upper bound (the model is always non-empty here)
   Infeasible,  ///< constraints unsatisfiable
-  Unknown,     ///< timeout before any model was found
+  Unknown,     ///< budget ran out before any model was found
 };
 
 struct OptResult {
   OptStatus status = OptStatus::Unknown;
-  std::int64_t best_value = 0;
+  std::int64_t best_value = 0;  ///< meaningless unless `model` is non-empty
   std::vector<LBool> model;  ///< empty unless a model was found; indexed by
                              ///< the ORIGINAL formula's variables (ladder
                              ///< auxiliaries are stripped)
@@ -76,29 +78,47 @@ struct OptResult {
   /// persistent engine; the strategy comparison statistic.
   int probes = 0;
   double seconds = 0.0;
+  /// Tightest PROVEN lower bound on the objective from minimize() runs:
+  /// the ladder floor, lifted by core-guided mining and by every Unsat
+  /// bisection probe. Equals best_value when status is Optimal; on a
+  /// budgeted Feasible exit the optimum lies in [lower_bound, best_value].
+  /// Not meaningful for pure decision queries.
+  std::int64_t lower_bound = 0;
+  /// Which resource bound cut the run short (None on Optimal/Infeasible).
+  BudgetTrip tripped = BudgetTrip::None;
+  /// True iff the run ended on a budget rather than a proof — i.e. status
+  /// is Feasible or Unknown because `tripped` fired.
+  bool budget_exhausted = false;
   [[nodiscard]] bool solved() const noexcept {
     return status == OptStatus::Optimal || status == OptStatus::Infeasible;
   }
 };
 
-/// Decision query: satisfiability only, objective ignored.
+/// Decision query: satisfiability only, objective ignored. A budgeted
+/// exit reports Unknown with `tripped` set (never Feasible with garbage).
 OptResult solve_decision(const Formula& formula, const SolverConfig& config,
-                         const Deadline& deadline);
+                         const SolveBudget& budget);
 
 /// Minimize the formula's objective with the given strategy on one
 /// persistent engine. `lower_hint` seeds the lower bound of the Binary
-/// and CoreGuided searches (ignored by Linear).
+/// and CoreGuided searches (ignored by Linear); it must itself be a
+/// proven bound — it is folded into OptResult::lower_bound. The budget
+/// covers the WHOLE run: its conflict/propagation caps are spread across
+/// probes by a BudgetLedger, and interrupt()/deadline preempt between and
+/// inside probes. Degradation contract: a budgeted exit keeps the best
+/// incumbent (status Feasible) and the tightest proven lower bound; only
+/// a run with no incumbent at all reports Unknown.
 OptResult minimize(const Formula& formula, const SolverConfig& config,
-                   const Deadline& deadline, SearchStrategy strategy,
+                   const SolveBudget& budget, SearchStrategy strategy,
                    std::int64_t lower_hint = 0);
 
 /// minimize() with SearchStrategy::Linear.
 OptResult minimize_linear(const Formula& formula, const SolverConfig& config,
-                          const Deadline& deadline);
+                          const SolveBudget& budget);
 
 /// minimize() with SearchStrategy::Binary.
 OptResult minimize_binary(const Formula& formula, const SolverConfig& config,
-                          const Deadline& deadline,
+                          const SolveBudget& budget,
                           std::int64_t lower_hint = 0);
 
 }  // namespace symcolor

@@ -1209,6 +1209,12 @@ void CdclSolver::maybe_export_pb(std::span<const PbTerm> terms,
 
 bool CdclSolver::drain_imports() {
   assert(decision_level() == 0);
+  if (config_.fault_injection.poison_import) {
+    // Deterministic stand-in for a foreign constraint that kills the
+    // importer (e.g. overflow during normalization); fires at the first
+    // import boundary, which is the solve() entry drain.
+    throw std::runtime_error("fault injection: poisoned import");
+  }
   import_buf_.clear();
   hooks_.sharing->import_clauses(hooks_.worker_id, &hooks_.import_cursor,
                                  &import_buf_);
@@ -1370,13 +1376,34 @@ TierCounts CdclSolver::learned_tier_counts() const {
   return tc;
 }
 
-SolveResult CdclSolver::solve(const Deadline& deadline,
+SolveResult CdclSolver::budget_exit(BudgetTrip trip) {
+  last_trip_ = trip;
+  switch (trip) {
+    case BudgetTrip::Deadline: ++stats_.deadline_exits; break;
+    case BudgetTrip::Conflicts: ++stats_.conflict_budget_exits; break;
+    case BudgetTrip::Propagations: ++stats_.prop_budget_exits; break;
+    case BudgetTrip::Interrupt: ++stats_.interrupt_exits; break;
+    case BudgetTrip::None: break;
+  }
+  backtrack(0);
+  return SolveResult::Unknown;
+}
+
+SolveResult CdclSolver::solve(const SolveBudget& budget,
                               std::span<const Lit> assumptions) {
   // The core is an artifact of one Unsat-under-assumptions answer; every
   // other outcome leaves it empty (Unsat with an empty core means the
   // formula is unsatisfiable regardless of assumptions).
   core_.clear();
+  last_trip_ = BudgetTrip::None;
   if (!ok_) return SolveResult::Unsat;
+  // Entry poll: a budget that is already interrupted or expired preempts
+  // the solve before any work — the in-loop cadence alone would let an
+  // instance that finishes in under one poll interval slip through.
+  if (const BudgetTrip entry_trip = budget.poll();
+      entry_trip != BudgetTrip::None) {
+    return budget_exit(entry_trip);
+  }
   // Rebuild hooks for the flat pools: incremental add_clause/add_pb since
   // the last solve appended through the growth path; re-compact to CSR
   // order so the search starts from a garbage-free layout.
@@ -1407,8 +1434,18 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
   std::int64_t restart_number = 0;
   std::vector<Lit> learnt;
   PbLearned pl;  // analyze_pb output, hoisted like `learnt` (vector reuse)
-  const std::int64_t conflict_budget = config_.conflict_budget;
+  // Counted budgets are hoisted to plain integer compares: the config-level
+  // conflict budget and the per-call one combine to whichever is tighter.
+  std::int64_t conflict_budget = config_.conflict_budget;
+  if (budget.conflict_budget() > 0 &&
+      (conflict_budget <= 0 || budget.conflict_budget() < conflict_budget)) {
+    conflict_budget = budget.conflict_budget();
+  }
+  const std::int64_t prop_budget = budget.prop_budget();
   const std::int64_t start_conflicts = stats_.conflicts;
+  const std::int64_t start_props = stats_.propagations;
+  const std::int64_t fault_after =
+      config_.fault_injection.throw_after_conflicts;
 
   for (;;) {
     // Restart boundary (also the solve entry): absorb clauses other
@@ -1435,17 +1472,27 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
     std::int64_t conflicts_this_restart = 0;
     std::int64_t ticks = 0;
     for (;;) {
-      if (++ticks % 256 == 0 &&
-          (deadline.expired() ||
-           (hooks_.stop != nullptr &&
-            hooks_.stop->load(std::memory_order_relaxed)))) {
-        backtrack(0);
-        return SolveResult::Unknown;
+      // Asynchronous conditions (wall clock, interrupt flag, portfolio
+      // stop) ride a coarse cadence — one clock read / atomic load per 256
+      // search steps bounds the preemption latency without costing the
+      // propagation loop anything measurable.
+      if (++ticks % 256 == 0) {
+        const BudgetTrip async = budget.poll();
+        if (async != BudgetTrip::None) return budget_exit(async);
+        if (hooks_.stop != nullptr &&
+            hooks_.stop->load(std::memory_order_relaxed)) {
+          return budget_exit(BudgetTrip::Interrupt);
+        }
       }
+      // Counted budgets are two integer compares — checked every step, so
+      // they never overshoot by more than one propagate() fixpoint.
       if (conflict_budget > 0 &&
           stats_.conflicts - start_conflicts >= conflict_budget) {
-        backtrack(0);
-        return SolveResult::Unknown;
+        return budget_exit(BudgetTrip::Conflicts);
+      }
+      if (prop_budget > 0 &&
+          stats_.propagations - start_props >= prop_budget) {
+        return budget_exit(BudgetTrip::Propagations);
       }
       Conflict conflict = propagate();
       if (conflict.valid()) {
@@ -1457,6 +1504,13 @@ SolveResult CdclSolver::solve(const Deadline& deadline,
           reconflict = false;
           ++stats_.conflicts;
           ++conflicts_this_restart;
+          if (fault_after > 0 &&
+              stats_.conflicts - start_conflicts >= fault_after) {
+            // Deterministic crash point for the portfolio's exception
+            // barrier; deliberately mid-search with the trail standing.
+            throw std::runtime_error(
+                "fault injection: configured conflict count reached");
+          }
           if (decision_level() == 0) {
             ok_ = false;
             return SolveResult::Unsat;

@@ -143,6 +143,26 @@ enum class PbAnalysis { Weaken, CuttingPlanes };
 /// diversification axis.
 enum class ReduceScheme { DbSize, ConflictInterval };
 
+/// Deterministic fault injection for the portfolio's exception-barrier
+/// tests (production configs leave this disarmed). The portfolio arms the
+/// spec only on the worker it targets; a direct CdclSolver::solve honours
+/// an armed spec regardless of the worker field.
+struct FaultInjection {
+  /// Portfolio worker index the fault targets; negative = every worker.
+  int worker = 0;
+  /// Throw std::runtime_error after this many conflicts in one solve()
+  /// call (<= 0 = off).
+  std::int64_t throw_after_conflicts = 0;
+  /// Throw std::runtime_error at the first import boundary with a sharing
+  /// sink attached (simulates a poisoned foreign constraint; never fires
+  /// in deterministic portfolio mode, where sharing is detached).
+  bool poison_import = false;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return throw_after_conflicts > 0 || poison_import;
+  }
+};
+
 struct SolverConfig {
   double var_decay = 0.95;
   double clause_decay = 0.999;
@@ -248,6 +268,9 @@ struct SolverConfig {
   bool portfolio_deterministic = false;
   /// Bound on the shared export buffer (clauses; further exports drop).
   std::size_t portfolio_buffer = 1 << 14;
+
+  /// Deterministic fault injection (tests only; see FaultInjection).
+  FaultInjection fault_injection;
 };
 
 /// Learnt-clause census by retention tier (see SolverConfig thresholds).
@@ -284,13 +307,23 @@ class CdclSolver final : public SolverEngine {
   /// Add a PB constraint after construction (level-0 only).
   bool add_pb(PbConstraint constraint) override;
 
-  /// Solve under optional assumptions. Returns Unknown on deadline or
-  /// conflict-budget exhaustion (or when the interrupt flag trips). Can
-  /// be called repeatedly; learned clauses persist across calls. Every
-  /// exit path backtracks to level 0 first, so no assumption state
-  /// survives the call and clone() right after is always valid.
-  SolveResult solve(const Deadline& deadline = {},
+  /// Solve under optional assumptions. Returns Unknown when a resource
+  /// bound ends the solve early — the budget's wall clock, conflict or
+  /// propagation cap, its interrupt() flag, or the portfolio stop flag —
+  /// with last_trip() recording which. Conflict caps combine with
+  /// config.conflict_budget (tighter wins); asynchronous conditions are
+  /// polled on a coarse cadence (every 256 search steps), so interrupt
+  /// latency is bounded by that many conflicts. Can be called repeatedly;
+  /// learned clauses persist across calls. Every exit path backtracks to
+  /// level 0 first, so no assumption state survives the call and clone()
+  /// right after is always valid.
+  SolveResult solve(const SolveBudget& budget = {},
                     std::span<const Lit> assumptions = {}) override;
+
+  /// Which bound ended the last solve() early (None after Sat/Unsat).
+  [[nodiscard]] BudgetTrip last_trip() const noexcept override {
+    return last_trip_;
+  }
 
   /// Complete model from the last Sat answer, indexed by variable.
   [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
@@ -719,6 +752,10 @@ class CdclSolver final : public SolverEngine {
 
   std::vector<LBool> model_;
   std::vector<Lit> core_;  // failed-assumption core of the last Unsat
+  /// Record a budgeted exit (trip kind + stats counter) and unwind to
+  /// level 0; every Unknown return of solve() funnels through this.
+  SolveResult budget_exit(BudgetTrip trip);
+  BudgetTrip last_trip_ = BudgetTrip::None;
   bool ok_ = true;  // false once level-0 conflict derived
   std::int64_t learnt_count_ = 0;
   double max_learnts_ = 0.0;

@@ -128,51 +128,89 @@ std::size_t ClauseExchange::dropped() const {
 }
 
 PortfolioSolver::PortfolioSolver(const Formula& formula, SolverConfig config)
-    : config_(config), master_(formula, config) {}
+    : config_(config), master_(std::make_unique<CdclSolver>(formula, config)) {}
+
+PortfolioSolver::PortfolioSolver(const PortfolioSolver& other)
+    : config_(other.config_),
+      master_(std::make_unique<CdclSolver>(*other.master_)),
+      model_(other.model_),
+      core_(other.core_),
+      stats_(other.stats_),
+      last_winner_(other.last_winner_),
+      last_faults_(other.last_faults_),
+      last_trip_(other.last_trip_),
+      last_exported_(other.last_exported_),
+      last_exported_pbs_(other.last_exported_pbs_),
+      last_dropped_(other.last_dropped_) {}
 
 bool PortfolioSolver::add_clause(Clause clause) {
-  return master_.add_clause(std::move(clause));
+  return master_->add_clause(std::move(clause));
 }
 
 bool PortfolioSolver::add_pb(PbConstraint constraint) {
-  return master_.add_pb(std::move(constraint));
+  return master_->add_pb(std::move(constraint));
 }
 
-SolveResult PortfolioSolver::solve(const Deadline& deadline,
+SolveResult PortfolioSolver::solve(const SolveBudget& budget,
                                    std::span<const Lit> assumptions) {
   const int n = std::max(1, config_.portfolio_threads);
+  last_faults_ = 0;
   if (n == 1) {
-    const SolveResult r = master_.solve(deadline, assumptions);
-    stats_ = master_.stats();
-    if (r == SolveResult::Sat) model_ = master_.model();
-    core_.assign(master_.last_core().begin(), master_.last_core().end());
+    // A fault spec aimed at a worker this 1-thread run never spawns must
+    // not fire on the master (CdclSolver honours an armed spec regardless
+    // of the worker field, so strip it here).
+    if (config_.fault_injection.armed() && config_.fault_injection.worker > 0) {
+      config_.fault_injection = {};
+      master_->reconfigure(config_);
+    }
+    const SolveResult r = master_->solve(budget, assumptions);
+    stats_ = master_->stats();
+    if (r == SolveResult::Sat) model_ = master_->model();
+    core_.assign(master_->last_core().begin(), master_->last_core().end());
     last_winner_ = r == SolveResult::Unknown ? -1 : 0;
+    last_trip_ = master_->last_trip();
     last_exported_ = last_exported_pbs_ = last_dropped_ = 0;
     return r;
   }
 
   const bool deterministic = config_.portfolio_deterministic;
+  const FaultInjection fault = config_.fault_injection;
   ClauseExchange exchange(config_.portfolio_buffer);
   std::atomic<bool> stop{false};
   std::atomic<int> first_definitive{-1};
+
+  // Fault targeting: the spec stays armed only on the worker it names
+  // (negative = all). The master carries it in its own config, so a spec
+  // aimed elsewhere is stripped off the master before cloning.
+  if (fault.armed() && fault.worker > 0) {
+    SolverConfig clean = config_;
+    clean.fault_injection = {};
+    master_->reconfigure(clean);
+  }
 
   // Worker 0 is the master; 1..n-1 are diversified clones, rebuilt from
   // the master's current state every solve so constraints added between
   // calls (and clauses the master imported last round) carry over.
   std::vector<std::unique_ptr<CdclSolver>> clones;
   std::vector<CdclSolver*> workers;
-  workers.push_back(&master_);
+  workers.push_back(master_.get());
   clones.reserve(static_cast<std::size_t>(n - 1));
   for (int i = 1; i < n; ++i) {
-    clones.push_back(std::make_unique<CdclSolver>(master_));
-    clones.back()->reconfigure(diversify_config(config_, i));
+    clones.push_back(std::make_unique<CdclSolver>(*master_));
+    SolverConfig wc = diversify_config(config_, i);
+    if (wc.fault_injection.armed() && wc.fault_injection.worker >= 0 &&
+        wc.fault_injection.worker != i) {
+      wc.fault_injection = {};
+    }
+    clones.back()->reconfigure(wc);
     workers.push_back(clones.back().get());
   }
 
   std::vector<SolveResult> results(static_cast<std::size_t>(n),
                                    SolveResult::Unknown);
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
+  std::vector<BudgetTrip> trips(static_cast<std::size_t>(n),
+                                BudgetTrip::None);
+  std::vector<std::exception_ptr> faults(static_cast<std::size_t>(n));
 
   const auto run = [&](int i) {
     CdclSolver* worker = workers[static_cast<std::size_t>(i)];
@@ -181,8 +219,9 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
         worker->set_sharing(&exchange, i);
         worker->set_interrupt(&stop);
       }
-      const SolveResult r = worker->solve(deadline, assumptions);
+      const SolveResult r = worker->solve(budget, assumptions);
       results[static_cast<std::size_t>(i)] = r;
+      trips[static_cast<std::size_t>(i)] = worker->last_trip();
       if (!deterministic && r != SolveResult::Unknown) {
         int expected = -1;
         if (first_definitive.compare_exchange_strong(expected, i)) {
@@ -190,9 +229,10 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
         }
       }
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(failure_mutex);
-      if (!failure) failure = std::current_exception();
-      stop.store(true);
+      // Exception barrier: record the death and leave the race running —
+      // the survivors still own the answer (this worker's result stays
+      // Unknown, and the exchange simply stops hearing from it).
+      faults[static_cast<std::size_t>(i)] = std::current_exception();
     }
   };
 
@@ -206,20 +246,49 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
     // joinable std::thread would terminate the process.
     stop.store(true);
     for (std::thread& t : threads) t.join();
-    master_.set_sharing(nullptr, 0);
-    master_.set_interrupt(nullptr);
+    master_->set_sharing(nullptr, 0);
+    master_->set_interrupt(nullptr);
     throw;
   }
   for (std::thread& t : threads) t.join();
 
   // The exchange and stop flag die with this frame; the master persists.
-  master_.set_sharing(nullptr, 0);
-  master_.set_interrupt(nullptr);
-  if (failure) std::rethrow_exception(failure);
+  master_->set_sharing(nullptr, 0);
+  master_->set_interrupt(nullptr);
+
+  int fault_count = 0;
+  for (const std::exception_ptr& f : faults) fault_count += f != nullptr;
+  last_faults_ = fault_count;
+  if (fault_count == n) {
+    // No survivors, so nothing can vouch for an answer: surface the
+    // lowest-indexed worker's exception. (The master may be left
+    // mid-search inconsistent — an all-workers crash is not recoverable.)
+    std::rethrow_exception(faults[0]);
+  }
+  if (fault_count > 0) {
+    // Injected faults are one-shot: once a worker has died, later solves
+    // on this engine run a fully healthy portfolio again.
+    config_.fault_injection = {};
+  }
+  // Master recovery: if worker 0 died, rebuild the master from a
+  // surviving clone before this solve returns. Sound because a quiescent
+  // clone holds only consequences of the same shared formula; the copy is
+  // re-based onto the master personality.
+  const auto repair_master = [&] {
+    if (!faults[0]) return;
+    for (int i = 1; i < n; ++i) {
+      if (faults[static_cast<std::size_t>(i)]) continue;
+      master_ = std::make_unique<CdclSolver>(
+          *workers[static_cast<std::size_t>(i)]);
+      master_->reconfigure(config_);
+      return;
+    }
+  };
 
   // Winner selection: the race's first definitive finisher, or — in
   // deterministic mode, where everyone ran to completion — the
   // lowest-indexed definitive answer, which repeated runs reproduce.
+  // Dead workers' results stayed Unknown, so they can never win.
   int winner = -1;
   if (deterministic) {
     for (int i = 0; i < n; ++i) {
@@ -238,8 +307,15 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
   last_winner_ = winner;
   core_.clear();
   if (winner < 0) {
-    stats_ = master_.stats();
-    return SolveResult::Unknown;  // deadline expired everywhere
+    // Budget expired everywhere: report through the first survivor (all
+    // workers share one budget, so survivors trip on the same condition
+    // modulo poll-cadence races).
+    int reporter = 0;
+    while (faults[static_cast<std::size_t>(reporter)]) ++reporter;
+    stats_ = workers[static_cast<std::size_t>(reporter)]->stats();
+    last_trip_ = trips[static_cast<std::size_t>(reporter)];
+    repair_master();
+    return SolveResult::Unknown;
   }
   const SolveResult answer = results[static_cast<std::size_t>(winner)];
   // Workers solve one shared formula: definitive answers can only
@@ -253,10 +329,12 @@ SolveResult PortfolioSolver::solve(const Deadline& deadline,
   }
   CdclSolver* win = workers[static_cast<std::size_t>(winner)];
   stats_ = win->stats();
+  last_trip_ = BudgetTrip::None;
   if (answer == SolveResult::Sat) model_ = win->model();
   if (answer == SolveResult::Unsat) {
     core_.assign(win->last_core().begin(), win->last_core().end());
   }
+  repair_master();
   return answer;
 }
 

@@ -35,8 +35,24 @@
 // sharing only moves logical consequences, so SAT/UNSAT never depends on
 // the thread count — only the wall-clock does.
 //
+// Fault isolation: every worker runs under an exception barrier. A worker
+// that throws mid-solve (a real bug, resource exhaustion, or the
+// SolverConfig::fault_injection test hook) is marked dead and excluded —
+// its exception is captured per-worker, the race is NOT cancelled, and
+// the survivors finish and answer. The exchange tolerates dead producers
+// by construction (cursors only ever scan what was actually published).
+// If the dead worker is the master (worker 0), the master is rebuilt from
+// a surviving clone before solve() returns — sound because every clone
+// holds only consequences of the same shared formula — so incremental
+// callers keep a healthy engine. Injected fault specs are one-shot: after
+// any worker dies the spec is disarmed for later solves. Only when EVERY
+// worker dies does solve() rethrow (the lowest-indexed worker's
+// exception); last_fault_count() reports the per-solve death toll.
+//
 // With portfolio_threads <= 1, solve() runs the master inline: no
 // threads, no exchange, no atomics — bit-for-bit the sequential engine.
+// There are no survivors to absorb a fault on that path, so a throwing
+// 1-thread solve propagates to the caller unchanged.
 
 #include <atomic>
 #include <cstdint>
@@ -111,7 +127,11 @@ class PortfolioSolver final : public SolverEngine {
 
   bool add_clause(Clause clause) override;
   bool add_pb(PbConstraint constraint) override;
-  SolveResult solve(const Deadline& deadline = {},
+  /// Race the workers under one shared budget. Each worker polls the
+  /// budget's asynchronous conditions itself (so interrupt() preempts the
+  /// whole portfolio, deterministic mode included) and counts its own
+  /// conflict/propagation caps.
+  SolveResult solve(const SolveBudget& budget = {},
                     std::span<const Lit> assumptions = {}) override;
   [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
     return model_;
@@ -130,10 +150,17 @@ class PortfolioSolver final : public SolverEngine {
     return stats_;
   }
   [[nodiscard]] int num_vars() const noexcept override {
-    return master_.num_vars();
+    return master_->num_vars();
   }
   [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
     return std::unique_ptr<SolverEngine>(new PortfolioSolver(*this));
+  }
+  /// Which bound ended the last solve() early: None after a definitive
+  /// answer, otherwise the winning-side trip (all-Unknown races report
+  /// the first surviving worker's trip — under one shared budget every
+  /// survivor trips on the same condition, modulo poll-cadence races).
+  [[nodiscard]] BudgetTrip last_trip() const noexcept override {
+    return last_trip_;
   }
 
   // ---- race introspection (tests / benchmarks) ----
@@ -150,16 +177,23 @@ class PortfolioSolver final : public SolverEngine {
   [[nodiscard]] std::size_t last_exchange_dropped() const noexcept {
     return last_dropped_;
   }
+  /// Workers that died behind the exception barrier in the last solve()
+  /// (0 on every healthy run).
+  [[nodiscard]] int last_fault_count() const noexcept { return last_faults_; }
 
  private:
-  PortfolioSolver(const PortfolioSolver& other) = default;
+  PortfolioSolver(const PortfolioSolver& other);
 
   SolverConfig config_;
-  CdclSolver master_;
+  /// Owned behind a pointer so a dead master can be swapped for a rebuilt
+  /// one (copied from a surviving clone) without disturbing callers.
+  std::unique_ptr<CdclSolver> master_;
   std::vector<LBool> model_;
   std::vector<Lit> core_;
   SolverStats stats_;
   int last_winner_ = -1;
+  int last_faults_ = 0;
+  BudgetTrip last_trip_ = BudgetTrip::None;
   std::size_t last_exported_ = 0;
   std::size_t last_exported_pbs_ = 0;
   std::size_t last_dropped_ = 0;

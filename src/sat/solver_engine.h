@@ -41,6 +41,7 @@
 
 #include "cnf/formula.h"
 #include "cnf/literals.h"
+#include "util/budget.h"
 #include "util/timer.h"
 
 namespace symcolor {
@@ -108,6 +109,17 @@ struct SolverStats {
   /// PB conflicts where cutting-planes analysis bailed to the clausal
   /// weakening path (coefficient overflow, degenerate resolvent).
   std::int64_t pb_fallbacks = 0;
+
+  // ---- resource-control exits (which budget ended a solve early) ----
+  /// Unknown exits because the wall-clock deadline ran out.
+  std::int64_t deadline_exits = 0;
+  /// Unknown exits because the conflict budget ran out.
+  std::int64_t conflict_budget_exits = 0;
+  /// Unknown exits because the propagation budget ran out.
+  std::int64_t prop_budget_exits = 0;
+  /// Unknown exits because interrupt() fired (async preemption or the
+  /// portfolio's cooperative stop flag).
+  std::int64_t interrupt_exits = 0;
 };
 
 /// A clause in transit between portfolio workers, tagged with the glue the
@@ -175,13 +187,19 @@ class SolverEngine {
   /// Add a PB constraint between solves (level-0 only).
   virtual bool add_pb(PbConstraint constraint) = 0;
 
-  /// Solve under optional assumptions. Returns Unknown on deadline or
-  /// budget exhaustion (or cooperative interruption). Can be called
+  /// Solve under optional assumptions. Returns Unknown when the budget
+  /// ends the solve early — wall clock, conflict or propagation cap, or
+  /// an asynchronous interrupt(); last_trip() reports which. Can be called
   /// repeatedly; learned state persists across calls. No assumption state
   /// outlives the call: on return the solver is quiescent (clone() is
   /// valid) and a later solve() with different assumptions starts clean.
-  virtual SolveResult solve(const Deadline& deadline = {},
+  /// (A bare Deadline still converts implicitly to a SolveBudget.)
+  virtual SolveResult solve(const SolveBudget& budget = {},
                             std::span<const Lit> assumptions = {}) = 0;
+
+  /// Which resource bound ended the last solve() early; None after a
+  /// definitive Sat/Unsat answer (and before the first solve).
+  [[nodiscard]] virtual BudgetTrip last_trip() const noexcept = 0;
 
   /// Complete model from the last Sat answer, indexed by variable.
   [[nodiscard]] virtual const std::vector<LBool>& model() const noexcept = 0;

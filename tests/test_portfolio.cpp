@@ -614,5 +614,129 @@ TEST(ClauseImport, PortfolioRaceSurvivesDegenerateImports) {
   }
 }
 
+// ---- fault-isolated workers ----
+
+/// queen5 coloring CNF without SBPs: dozens of conflicts for the master
+/// (34 UNSAT at k=4, 28 SAT at k=5), and every diversified personality is
+/// guaranteed at least one conflict — so a throw-after-1-conflict fault
+/// spec fires deterministically on whichever worker carries it. (The
+/// SBP-laden encodings are useless here: nu+sc collapses these instances
+/// to ~3 conflicts, below any useful fault threshold.)
+Formula queen5_plain_formula(int k) {
+  const Graph g = make_queen_graph(5, 5);
+  return encode_k_coloring(g, k, SbpOptions::none()).formula;
+}
+
+TEST(PortfolioFaults, FaultyWorkerStillAnswers) {
+  // Worker 1 is armed to die at its first conflict; the survivors must
+  // still deliver the correct definitive answer, at every thread count
+  // and in both scheduling modes. In deterministic mode every worker runs
+  // to completion, so the fault ALWAYS fires (exactly one death); in race
+  // mode a fast winner may early-exit worker 1 before its first conflict,
+  // so the death toll is 0 or 1 — never more, and never a wrong answer.
+  for (const int threads : {1, 2, 4}) {
+    for (const bool deterministic : {false, true}) {
+      SolverConfig config = profile_config(SolverKind::PbsII);
+      config.portfolio_threads = threads;
+      config.portfolio_deterministic = deterministic;
+      config.fault_injection.worker = 1;
+      config.fault_injection.throw_after_conflicts = 1;
+      // threads == 1 has no worker 1: the spec is inert there.
+      const int min_faults = (threads > 1 && deterministic) ? 1 : 0;
+      const int max_faults = threads > 1 ? 1 : 0;
+
+      PortfolioSolver sat(queen5_plain_formula(5), config);
+      EXPECT_EQ(sat.solve(), SolveResult::Sat)
+          << threads << " threads, deterministic=" << deterministic;
+      EXPECT_GE(sat.last_fault_count(), min_faults);
+      EXPECT_LE(sat.last_fault_count(), max_faults);
+
+      PortfolioSolver unsat(queen5_plain_formula(4), config);
+      EXPECT_EQ(unsat.solve(), SolveResult::Unsat)
+          << threads << " threads, deterministic=" << deterministic;
+      EXPECT_GE(unsat.last_fault_count(), min_faults);
+      EXPECT_LE(unsat.last_fault_count(), max_faults);
+    }
+  }
+}
+
+TEST(PortfolioFaults, MasterFaultRecoversAndNextSolveIsHealthy) {
+  // Worker 0 (the master itself) dies; a surviving clone answers, the
+  // master is rebuilt from it, and — fault specs being one-shot — a
+  // second solve on the same engine runs fault-free.
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 2;
+  config.fault_injection.worker = 0;
+  config.fault_injection.throw_after_conflicts = 1;
+
+  PortfolioSolver solver(queen5_plain_formula(4), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_EQ(solver.last_fault_count(), 1);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_EQ(solver.last_fault_count(), 0);
+}
+
+TEST(PortfolioFaults, AllWorkersDeadRethrows) {
+  // worker < 0 arms the fault on every worker: with nobody left to
+  // answer, the portfolio must surface the failure, not fabricate a
+  // result.
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 2;
+  config.fault_injection.worker = -1;
+  config.fault_injection.throw_after_conflicts = 1;
+
+  PortfolioSolver solver(queen5_plain_formula(4), config);
+  EXPECT_THROW(solver.solve(), std::runtime_error);
+}
+
+TEST(PortfolioFaults, PoisonedImportIsolatedToItsWorker) {
+  // A worker whose import path throws (poisoned exchange payload) dies at
+  // its first drain; the exchange keeps serving the survivors and the
+  // race still concludes correctly.
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 2;
+  config.fault_injection.worker = 1;
+  config.fault_injection.poison_import = true;
+
+  PortfolioSolver sat(queen5_plain_formula(5), config);
+  EXPECT_EQ(sat.solve(), SolveResult::Sat);
+  EXPECT_EQ(sat.last_fault_count(), 1);
+
+  PortfolioSolver unsat(queen5_plain_formula(4), config);
+  EXPECT_EQ(unsat.solve(), SolveResult::Unsat);
+  EXPECT_EQ(unsat.last_fault_count(), 1);
+}
+
+TEST(PortfolioFaults, SingleThreadFaultPropagates) {
+  // With one worker there is nobody to hide behind: the fault reaches
+  // the caller (worker 0 == the sequential master).
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 1;
+  config.fault_injection.worker = 0;
+  config.fault_injection.throw_after_conflicts = 1;
+
+  PortfolioSolver solver(queen5_plain_formula(4), config);
+  EXPECT_THROW(solver.solve(), std::runtime_error);
+}
+
+TEST(PortfolioFaults, PresetInterruptReturnsUnknownWithTrip) {
+  // An interrupt raised before the race starts preempts every worker:
+  // the portfolio reports Unknown and surfaces the Interrupt trip.
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = 2;
+  // Hard enough that the first poll-cadence check fires long before any
+  // worker could finish, small enough that the re-armed solve is quick.
+  const Formula f = pigeonhole_formula(8, 7);
+  PortfolioSolver solver(f, config);
+  SolveBudget budget;
+  budget.interrupt();
+  EXPECT_EQ(solver.solve(budget), SolveResult::Unknown);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::Interrupt);
+  // Re-armed, the same engine solves to completion.
+  budget.clear_interrupt();
+  EXPECT_EQ(solver.solve(budget), SolveResult::Unsat);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::None);
+}
+
 }  // namespace
 }  // namespace symcolor

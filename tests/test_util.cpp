@@ -60,6 +60,23 @@ TEST(Deadline, RemainingIsPositiveBeforeExpiry) {
   EXPECT_FALSE(d.expired());
 }
 
+TEST(Deadline, NegativeBudgetIsUnlimited) {
+  // The "<= 0 means unlimited" convention covers negatives, not just 0.
+  Deadline d(-5.0);
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, CopyPreservesTheOriginalClock) {
+  // A copy shares the start instant — copying must not extend a budget.
+  Deadline d(0.01);
+  Deadline copy = d;
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(copy.expired());
+  EXPECT_EQ(copy.remaining(), 0.0);
+}
+
 TEST(Rng, DeterministicForEqualSeeds) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

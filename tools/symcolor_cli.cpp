@@ -14,15 +14,26 @@
 //                   Applies to both the native PB and --satloop pipelines
 //   --threads <n>   racing portfolio workers per CDCL solve (default 1;
 //                   the answer is identical at any thread count)
-//   --timeout <s>   wall budget in seconds (default unlimited)
 //   --decision      K-colorability query instead of minimization
 //   --simplify      pre-solve simplification (units, pures, subsumption)
 //   --satloop       pure-CNF SAT-loop pipeline instead of native PB
 //   --opb <file>    dump the encoded 0-1 ILP instance as OPB and exit
 //   --stats         print symmetry/solver statistics
 //
-// Exit code: 0 optimal/SAT, 1 infeasible/UNSAT, 2 timeout, 3 usage error.
+// Resource control (every run is preemptible; <= 0 means unlimited):
+//   --timeout <s>          wall budget in seconds
+//   --conflict-budget <n>  total CDCL conflicts across the whole run
+//   --prop-budget <n>      total CDCL propagations across the whole run
+//   Ctrl-C (SIGINT)        asynchronous interrupt: the solve stops within a
+//                          bounded number of search steps and the run
+//                          degrades gracefully — best coloring found so far
+//                          plus the tightest PROVEN lower bound are reported
+//                          (a second Ctrl-C kills the process as usual).
+//
+// Exit code: 0 optimal/SAT, 1 infeasible/UNSAT, 2 budget/interrupt stop,
+// 3 usage error.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,14 +50,31 @@ using namespace symcolor;
 
 namespace {
 
+// The run-wide budget SIGINT signals through. interrupt() is a single
+// lock-free atomic store, so calling it from the handler is safe; the
+// handler is only installed after the pointer is set.
+const SolveBudget* g_run_budget = nullptr;
+
+void on_sigint(int) {
+  if (g_run_budget != nullptr) {
+    g_run_budget->interrupt();
+    // Restore the default disposition so a second Ctrl-C kills the
+    // process even if the solver is stuck outside its poll cadence.
+    std::signal(SIGINT, SIG_DFL);
+  }
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
                "[--solver s] [--search linear|binary|core]\n"
-               "                    [--threads n] [--timeout sec] "
-               "[--decision] [--satloop]\n"
-               "                    [--opb file] [--stats] "
-               "(<graph.col> | --instance <name>)\n");
+               "                    [--threads n] [--decision] [--satloop] "
+               "[--opb file] [--stats]\n"
+               "                    (<graph.col> | --instance <name>)\n"
+               "resource control (<= 0 = unlimited; Ctrl-C interrupts and "
+               "reports best-so-far):\n"
+               "                    [--timeout sec] [--conflict-budget n] "
+               "[--prop-budget n]\n");
 }
 
 std::optional<SbpOptions> parse_sbp(const std::string& name) {
@@ -86,6 +114,8 @@ int main(int argc, char** argv) {
   SearchStrategy search = SearchStrategy::Linear;
   int threads = 1;
   double timeout = 0.0;
+  long long conflict_budget = 0;
+  long long prop_budget = 0;
   bool decision = false;
   bool satloop = false;
   bool presimplify = false;
@@ -128,6 +158,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(); return 3; }
       timeout = std::atof(v);
+    } else if (arg == "--conflict-budget") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      conflict_budget = std::atoll(v);
+    } else if (arg == "--prop-budget") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 3; }
+      prop_budget = std::atoll(v);
     } else if (arg == "--decision") {
       decision = true;
     } else if (arg == "--simplify") {
@@ -198,19 +236,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // One budget covers the whole run; Ctrl-C asynchronously interrupts it
+  // and the pipelines degrade gracefully (best-so-far + proven bound).
+  const SolveBudget run_budget(timeout, conflict_budget, prop_budget);
+  g_run_budget = &run_budget;
+  std::signal(SIGINT, on_sigint);
+
   if (satloop) {
     SatLoopOptions options;
     options.sbps = sbps;
-    options.time_budget_seconds = timeout;
     options.search = search;
     options.solver.portfolio_threads = threads;
+    options.budget = &run_budget;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
       std::printf("chromatic number: %d (%d SAT calls, %.3f s)\n",
                   r.num_colors, r.sat_calls, r.seconds);
       return 0;
     }
-    std::printf("timeout; best coloring uses %d colors\n", r.num_colors);
+    std::printf(
+        "stopped (%s); best coloring uses %d colors; "
+        "chromatic number >= %d proven (%d SAT calls, %.3f s)\n",
+        budget_trip_name(r.tripped), r.num_colors, r.lower_bound, r.sat_calls,
+        r.seconds);
     return 2;
   }
 
@@ -221,8 +269,8 @@ int main(int argc, char** argv) {
   options.solver = solver;
   options.search = search;
   options.threads = threads;
-  options.time_budget_seconds = timeout;
   options.presimplify = presimplify;
+  options.budget = &run_budget;
   const ColoringOutcome r =
       decision ? solve_k_coloring(graph, options) : solve_coloring(graph, options);
 
@@ -239,6 +287,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.solver_stats.conflicts),
                 static_cast<long long>(r.solver_stats.decisions),
                 static_cast<long long>(r.solver_stats.propagations));
+    std::printf(
+        "budget: tripped=%s exits deadline=%lld conflicts=%lld "
+        "propagations=%lld interrupt=%lld\n",
+        budget_trip_name(r.tripped),
+        static_cast<long long>(r.solver_stats.deadline_exits),
+        static_cast<long long>(r.solver_stats.conflict_budget_exits),
+        static_cast<long long>(r.solver_stats.prop_budget_exits),
+        static_cast<long long>(r.solver_stats.interrupt_exits));
   }
 
   switch (r.status) {
@@ -254,10 +310,15 @@ int main(int argc, char** argv) {
       std::printf("not %d-colorable (%.3f s)\n", k, r.total_seconds);
       return 1;
     case OptStatus::Feasible:
-      std::printf("timeout; best coloring uses %d colors\n", r.num_colors);
+      std::printf(
+          "stopped (%s); best coloring uses %d colors; "
+          "chromatic number >= %lld proven (%.3f s)\n",
+          budget_trip_name(r.tripped), r.num_colors,
+          static_cast<long long>(r.lower_bound), r.total_seconds);
       return 2;
     case OptStatus::Unknown:
-      std::printf("timeout with no coloring found\n");
+      std::printf("stopped (%s) with no coloring found (%.3f s)\n",
+                  budget_trip_name(r.tripped), r.total_seconds);
       return 2;
   }
   return 2;
