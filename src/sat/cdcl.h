@@ -317,6 +317,14 @@ class CdclSolver final : public SolverEngine {
   /// learned clauses persist across calls. Every exit path backtracks to
   /// level 0 first, so no assumption state survives the call and clone()
   /// right after is always valid.
+  ///
+  /// Entry poll / stale interrupts: solve() polls the budget before doing
+  /// ANY work, and it never clears the budget's interrupt flag — the flag
+  /// is sticky (see SolveBudget::interrupt()). An interrupt set after a
+  /// previous solve returned therefore preempts this solve at entry with a
+  /// zero-work Unknown/Interrupt. That is the intended kill-switch
+  /// semantics for budgets shared across solves; an owner reusing one
+  /// budget for independent solves must clear_interrupt() between them.
   SolveResult solve(const SolveBudget& budget = {},
                     std::span<const Lit> assumptions = {}) override;
 
@@ -369,7 +377,7 @@ class CdclSolver final : public SolverEngine {
   /// schedule state is re-armed. Phase diversification via default_phase
   /// therefore only bites with phase_saving off (saved polarities win
   /// otherwise).
-  void reconfigure(const SolverConfig& config);
+  void reconfigure(const SolverConfig& config) override;
 
   // ---- storage introspection (tests / benchmarks) ----
   /// Total watcher entries across all literals (binary + long pools).

@@ -155,6 +155,14 @@ class PortfolioSolver final : public SolverEngine {
   [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
     return std::unique_ptr<SolverEngine>(new PortfolioSolver(*this));
   }
+  /// Swap the base configuration: the master is reconfigured in place and
+  /// the new base drives the next solve()'s worker diversification. The
+  /// thread count in `config` only affects how many clones the next race
+  /// spawns — existing learned state is kept either way.
+  void reconfigure(const SolverConfig& config) override {
+    config_ = config;
+    master_->reconfigure(config);
+  }
   /// Which bound ended the last solve() early: None after a definitive
   /// answer, otherwise the winning-side trip (all-Unknown races report
   /// the first surviving worker's trip — under one shared budget every

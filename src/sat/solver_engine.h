@@ -46,6 +46,8 @@
 
 namespace symcolor {
 
+struct SolverConfig;
+
 enum class SolveResult { Sat, Unsat, Unknown };
 
 struct SolverStats {
@@ -220,6 +222,14 @@ class SolverEngine {
   /// quiescent point (between solve() calls). The clone is independent:
   /// solving one never touches the other.
   [[nodiscard]] virtual std::unique_ptr<SolverEngine> clone() const = 0;
+
+  /// Swap the configuration of a live engine at a quiescent point, keeping
+  /// learned state (clauses, activities, saved phases). This is what makes
+  /// warm-start caching work: a service clones a preprocessed master and
+  /// then reconfigures the clone with the request's own knobs (budget
+  /// personality, fault injection, thread count is fixed at construction)
+  /// without rebuilding or disturbing the cached engine.
+  virtual void reconfigure(const SolverConfig& config) = 0;
 };
 
 }  // namespace symcolor

@@ -1,0 +1,68 @@
+#pragma once
+// Warm-start cache of preprocessed master engines, keyed by the caller's
+// base-formula identity (e.g. "queen8_8/k=9"). The point: for a hot base
+// formula, building the solver — clause arena, watcher pools, PB rows —
+// is the dominant per-request cost, while CdclSolver::clone() is a
+// handful of memcpys. So the cache keeps ONE resident master per key and
+// hands every request an exclusive clone; the request then reconfigure()s
+// its clone with its own knobs (personality, fault injection) without
+// ever touching the shared master.
+//
+// Fault isolation composes with this: the master is always built with
+// fault_injection DISARMED, so a request whose injected fault kills its
+// clone cannot poison the resident engine — the next request under the
+// same key clones a healthy master (tests prove this).
+//
+// Thread-safe; bounded by LRU eviction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sat/solver_engine.h"
+
+namespace symcolor {
+
+class Formula;
+struct SolverConfig;
+
+class EngineCache {
+ public:
+  explicit EngineCache(std::size_t capacity) : capacity_(capacity) {}
+
+  EngineCache(const EngineCache&) = delete;
+  EngineCache& operator=(const EngineCache&) = delete;
+
+  /// An exclusive clone of the resident master for `key`; on a miss the
+  /// master is first built from `formula` with `config` (fault injection
+  /// stripped) and cached. The caller owns the clone outright and should
+  /// reconfigure() it with the request's real config. With capacity 0 the
+  /// cache is disabled and this simply builds a fresh engine.
+  [[nodiscard]] std::unique_ptr<SolverEngine> acquire(
+      const std::string& key, const Formula& formula,
+      const SolverConfig& config);
+
+  /// Drop every resident master.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SolverEngine> master;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace symcolor

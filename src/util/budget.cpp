@@ -19,7 +19,7 @@ const char* budget_trip_name(BudgetTrip trip) noexcept {
 bool SolveBudget::unlimited() const noexcept {
   for (const SolveBudget* b = this; b != nullptr; b = b->parent_) {
     if (!b->deadline_.unlimited() || b->conflicts_ > 0 ||
-        b->propagations_ > 0 ||
+        b->propagations_ > 0 || b->pre_trip_ != BudgetTrip::None ||
         b->interrupted_.load(std::memory_order_acquire)) {
       return false;
     }

@@ -67,6 +67,7 @@ class SolveBudget {
       : deadline_(other.deadline_),
         conflicts_(other.conflicts_),
         propagations_(other.propagations_),
+        pre_trip_(other.pre_trip_),
         parent_(other.parent_),
         interrupted_(other.interrupted_.load(std::memory_order_acquire)) {}
   SolveBudget& operator=(SolveBudget&&) = delete;
@@ -74,11 +75,20 @@ class SolveBudget {
   /// Request asynchronous preemption. Safe from any thread and from signal
   /// handlers (a single lock-free atomic store); const so that read-only
   /// holders of the budget can still signal through it.
+  ///
+  /// The flag is STICKY by design: a solve never clears it, so a flag
+  /// still set from a previous solve preempts the next one at its entry
+  /// poll. That is load-bearing — a run-wide kill switch (SIGINT, a
+  /// service drain) must stop every later solve sharing the budget, not
+  /// just the one that happened to be in flight. A caller that meant the
+  /// interrupt for a single solve and wants to reuse the same budget must
+  /// re-arm it explicitly with clear_interrupt() between solves.
   void interrupt() const noexcept {
     interrupted_.store(true, std::memory_order_release);
   }
 
-  /// Re-arm after an interrupt so the same budget can drive another solve.
+  /// Re-arm after an interrupt so the same budget can drive another solve
+  /// (the owner's half of the sticky-interrupt contract above).
   /// Does not touch ancestors: a parent-level interrupt stays in force.
   void clear_interrupt() const noexcept {
     interrupted_.store(false, std::memory_order_release);
@@ -114,14 +124,25 @@ class SolveBudget {
   /// level is unlimited, clamped at 0 once expired.
   [[nodiscard]] double remaining_seconds() const noexcept;
 
-  /// Combined asynchronous check: Interrupt dominates Deadline; conflict
-  /// and propagation budgets are counted by the solver itself and are not
+  /// Combined asynchronous check: a pre-recorded trip (see pre_tripped())
+  /// outranks everything, then Interrupt dominates Deadline; conflict and
+  /// propagation budgets are counted by the solver itself and are not
   /// visible here. This is the call sitting on the CDCL poll cadence.
   [[nodiscard]] BudgetTrip poll() const noexcept {
+    if (pre_trip_ != BudgetTrip::None) return pre_trip_;
     if (interrupted()) return BudgetTrip::Interrupt;
     if (deadline_expired()) return BudgetTrip::Deadline;
     return BudgetTrip::None;
   }
+
+  /// The condition a definitively-exhausted budget was born tripped on
+  /// (None for ordinary budgets). A pre-tripped budget preempts a solve at
+  /// its entry poll before ANY work happens; BudgetLedger::probe() hands
+  /// one out once its counted caps are spent, so a search loop that fails
+  /// to check exhausted() gets a zero-work Unknown with the correct trip
+  /// kind instead of a drip of extra conflicts (or, on a conflict-free
+  /// instance, an effectively unlimited solve).
+  [[nodiscard]] BudgetTrip pre_tripped() const noexcept { return pre_trip_; }
 
   /// Derive a per-probe budget that can never exceed this one: the child's
   /// wall clock is clamped to the parent's remaining seconds and its
@@ -133,6 +154,17 @@ class SolveBudget {
                                   std::int64_t conflicts = 0,
                                   std::int64_t propagations = 0) const noexcept;
 
+  /// A child that is born tripped on `trip`: its poll() — and therefore
+  /// the solver's entry poll — reports that condition immediately, so a
+  /// solve handed this budget returns Unknown without doing any work,
+  /// with last_trip() recording the given kind. This is how an exhausted
+  /// BudgetLedger expresses "there is definitively nothing left".
+  [[nodiscard]] SolveBudget child_exhausted(BudgetTrip trip) const noexcept {
+    SolveBudget b(0.0, 0, 0, this);
+    b.pre_trip_ = trip;
+    return b;
+  }
+
  private:
   SolveBudget(double seconds, std::int64_t conflicts, std::int64_t propagations,
               const SolveBudget* parent) noexcept
@@ -143,6 +175,7 @@ class SolveBudget {
   Deadline deadline_;
   std::int64_t conflicts_ = 0;
   std::int64_t propagations_ = 0;
+  BudgetTrip pre_trip_ = BudgetTrip::None;
   const SolveBudget* parent_ = nullptr;
   mutable std::atomic<bool> interrupted_{false};
 };
@@ -187,19 +220,24 @@ class BudgetLedger {
     return trip() != BudgetTrip::None;
   }
 
-  /// A child budget holding the unspent remainder of each counted budget
-  /// (callers check exhausted() first; the floor of 1 only defends against
-  /// racing clocks). Wall clock and interrupt flow through the parent link.
+  /// A child budget holding the unspent remainder of each counted budget.
+  /// When the ledger is already exhausted — including by a charge() racing
+  /// the final trip() check — the probe is born tripped on the exhausted
+  /// dimension, so a solve handed it returns Unknown at its entry poll
+  /// with zero work instead of receiving a residual (or, worse, an
+  /// effectively unlimited) slice. Wall clock and interrupt flow through
+  /// the parent link.
   [[nodiscard]] SolveBudget probe() const noexcept {
+    if (const BudgetTrip t = trip(); t != BudgetTrip::None) {
+      return parent_.child_exhausted(t);
+    }
     std::int64_t conflicts = 0;
     if (parent_.conflict_budget() > 0) {
-      const std::int64_t left = parent_.conflict_budget() - spent_conflicts_;
-      conflicts = left > 1 ? left : 1;
+      conflicts = parent_.conflict_budget() - spent_conflicts_;
     }
     std::int64_t propagations = 0;
     if (parent_.prop_budget() > 0) {
-      const std::int64_t left = parent_.prop_budget() - spent_propagations_;
-      propagations = left > 1 ? left : 1;
+      propagations = parent_.prop_budget() - spent_propagations_;
     }
     return parent_.child(0.0, conflicts, propagations);
   }

@@ -1,0 +1,30 @@
+#include "util/report.h"
+
+#include <cstdio>
+
+namespace symcolor {
+
+std::string format_solver_line(const SolverStats& stats) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "solver: %lld conflicts, %lld decisions, %lld propagations",
+                static_cast<long long>(stats.conflicts),
+                static_cast<long long>(stats.decisions),
+                static_cast<long long>(stats.propagations));
+  return buf;
+}
+
+std::string format_budget_line(BudgetTrip tripped, const SolverStats& stats) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "budget: tripped=%s exits deadline=%lld conflicts=%lld "
+                "propagations=%lld interrupt=%lld",
+                budget_trip_name(tripped),
+                static_cast<long long>(stats.deadline_exits),
+                static_cast<long long>(stats.conflict_budget_exits),
+                static_cast<long long>(stats.prop_budget_exits),
+                static_cast<long long>(stats.interrupt_exits));
+  return buf;
+}
+
+}  // namespace symcolor

@@ -16,6 +16,7 @@
 #include "pb/optimizer.h"
 #include "pb/solver_profiles.h"
 #include "sat/cdcl.h"
+#include "sat/portfolio.h"
 #include "util/budget.h"
 
 namespace symcolor {
@@ -203,6 +204,55 @@ TEST(BudgetLedger, AsyncConditionsOutrankCountedOnes) {
   parent.clear_interrupt();
 }
 
+// ---- exhausted-ledger probes (the probe-slice edge case) ----
+
+TEST(BudgetLedgerProbe, ExhaustedConflictLedgerHandsOutPreTrippedProbe) {
+  const SolveBudget parent(0.0, 50, 0);
+  BudgetLedger ledger(parent);
+  ledger.charge(50, 0);
+  ASSERT_TRUE(ledger.exhausted());
+  const SolveBudget probe = ledger.probe();
+  EXPECT_EQ(probe.pre_tripped(), BudgetTrip::Conflicts);
+  EXPECT_EQ(probe.poll(), BudgetTrip::Conflicts);
+  EXPECT_FALSE(probe.unlimited());
+  // Fails-before regression: the old remainder floor of 1 conflict let a
+  // CONFLICT-FREE solve run to a full answer on an exhausted ledger (the
+  // cap only counts conflicts, and an easy instance has none). A
+  // pre-tripped probe is refused at the solver's entry poll instead:
+  // Unknown, correct trip kind, zero work.
+  CdclSolver solver(pigeonhole_formula(5, 6));  // satisfiable, conflict-free
+  EXPECT_EQ(solver.solve(probe), SolveResult::Unknown);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::Conflicts);
+  EXPECT_EQ(solver.stats().conflicts, 0);
+  EXPECT_EQ(solver.stats().decisions, 0);
+}
+
+TEST(BudgetLedgerProbe, OverspentPropagationLedgerAlsoPreTrips) {
+  const SolveBudget parent(0.0, 0, 400);
+  BudgetLedger ledger(parent);
+  ledger.charge(0, 1000);  // overshoot past the cap mid-loop
+  const SolveBudget probe = ledger.probe();
+  EXPECT_EQ(probe.pre_tripped(), BudgetTrip::Propagations);
+  CdclSolver solver(pigeonhole_formula(5, 6));
+  EXPECT_EQ(solver.solve(probe), SolveResult::Unknown);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::Propagations);
+  EXPECT_EQ(solver.stats().decisions, 0);
+}
+
+TEST(BudgetLedgerProbe, PreTripSurvivesMoveAndOutranksAsyncConditions) {
+  const SolveBudget parent(0.0, 10, 0);
+  SolveBudget exhausted = parent.child_exhausted(BudgetTrip::Conflicts);
+  const SolveBudget moved = std::move(exhausted);
+  EXPECT_EQ(moved.pre_tripped(), BudgetTrip::Conflicts);
+  EXPECT_EQ(moved.poll(), BudgetTrip::Conflicts);
+  EXPECT_FALSE(moved.unlimited());
+  parent.interrupt();
+  // The recorded trip keeps reporting the dimension that actually ran
+  // out, not whatever fired later up the chain.
+  EXPECT_EQ(moved.poll(), BudgetTrip::Conflicts);
+  parent.clear_interrupt();
+}
+
 // ---- CDCL budget trips ----
 
 TEST(CdclBudget, ConflictBudgetTripsAndIsRecorded) {
@@ -266,6 +316,37 @@ TEST(CdclInterrupt, PresetInterruptStopsWithinBoundedConflicts) {
   EXPECT_EQ(solver.last_trip(), BudgetTrip::Interrupt);
   EXPECT_EQ(solver.stats().interrupt_exits, 1);
   EXPECT_LE(solver.stats().conflicts, 1024) << "interrupt latency unbounded";
+}
+
+TEST(CdclInterrupt, StickyInterruptPreemptsNextSolveByDesign) {
+  // The stale-interrupt contract on reused engines (see
+  // SolveBudget::interrupt() and CdclSolver::solve()): solve() never
+  // clears the flag, so an interrupt raised AFTER solve N returns
+  // preempts solve N+1 at its entry poll — run-wide kill-switch
+  // semantics — and clear_interrupt() is the owner's documented re-arm.
+  CdclSolver solver(pigeonhole_formula(5, 6));
+  const SolveBudget budget;
+  EXPECT_EQ(solver.solve(budget), SolveResult::Sat);
+  budget.interrupt();
+  const std::int64_t before = solver.stats().conflicts;
+  EXPECT_EQ(solver.solve(budget), SolveResult::Unknown);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::Interrupt);
+  EXPECT_EQ(solver.stats().conflicts, before) << "preempted solve did work";
+  budget.clear_interrupt();
+  EXPECT_EQ(solver.solve(budget), SolveResult::Sat);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::None);
+}
+
+TEST(CdclInterrupt, PortfolioStopFlagDoesNotLeakAcrossSolves) {
+  // The portfolio's internal stop flag is frame-local to each solve();
+  // a second solve on the same engine starts clean and reaches a
+  // definitive answer again (no stale cooperative-stop state).
+  SolverConfig config;
+  config.portfolio_threads = 2;
+  PortfolioSolver solver(pigeonhole_formula(5, 6), config);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+  EXPECT_EQ(solver.last_trip(), BudgetTrip::None);
 }
 
 TEST(CdclInterrupt, CrossThreadInterruptStopsTheSolve) {

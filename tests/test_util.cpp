@@ -1,4 +1,5 @@
-// Unit tests for src/util: timers, deterministic RNG, text helpers.
+// Unit tests for src/util: timers, deterministic RNG, text helpers, and
+// the minimal JSON value type behind the symcolor_serve protocol.
 
 #include <gtest/gtest.h>
 
@@ -6,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/text.h"
 #include "util/timer.h"
@@ -205,6 +207,72 @@ TEST(Text, FormatPow10SmallExact) {
 TEST(Text, FormatPow10LargeScientific) {
   const std::string s = format_pow10(168.04);
   EXPECT_NE(s.find("e+168"), std::string::npos);
+}
+
+// ---- Json (the symcolor_serve wire format) ----
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_EQ(Json::parse("-42")->as_int(), -42);
+  EXPECT_TRUE(Json::parse("42")->is_int());
+  EXPECT_NEAR(Json::parse("2.5e1")->as_double(), 25.0, 1e-9);
+  EXPECT_FALSE(Json::parse("2.5e1")->is_int());
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"")->as_string(), "hi\nthere");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto v =
+      Json::parse(R"({"op":"solve","k":5,"clauses":[[1,-2],[2]],"f":true})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("op"), "solve");
+  EXPECT_EQ(v->get_int("k"), 5);
+  EXPECT_TRUE(v->get_bool("f"));
+  const Json* clauses = v->find("clauses");
+  ASSERT_NE(clauses, nullptr);
+  ASSERT_EQ(clauses->as_array().size(), 2u);
+  EXPECT_EQ(clauses->as_array()[0].as_array()[1].as_int(), -2);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("nan").has_value());
+}
+
+TEST(Json, DepthCapStopsHostileNesting) {
+  std::string bomb;
+  for (int i = 0; i < 2000; ++i) bomb += '[';
+  EXPECT_FALSE(Json::parse(bomb).has_value());
+  // A comfortably-nested document still parses.
+  EXPECT_TRUE(Json::parse("[[[[[[[[[[1]]]]]]]]]]").has_value());
+}
+
+TEST(Json, DumpIsDeterministicAndRoundTrips) {
+  Json obj;
+  obj["b"] = 2;
+  obj["a"] = std::string("x\"y");
+  obj["c"] = Json::Array{Json(1), Json(true), Json(nullptr)};
+  const std::string text = obj.dump();
+  EXPECT_EQ(text, R"({"a":"x\"y","b":2,"c":[1,true,null]})");
+  const auto back = Json::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dump(), text);
+}
+
+TEST(Json, ControlCharactersEscapeOnDump) {
+  // ("a\x01b" would parse as {'a', 0x1b}: hex escapes are greedy.)
+  const std::string raw = std::string("a") + '\x01' + 'b';
+  const Json v(raw);
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\"");
+  EXPECT_EQ(Json::parse(v.dump())->as_string(), raw);
 }
 
 }  // namespace

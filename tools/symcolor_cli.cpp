@@ -45,6 +45,7 @@
 #include "coloring/exact_colorer.h"
 #include "graph/dimacs_col.h"
 #include "graph/generators.h"
+#include "util/report.h"
 
 using namespace symcolor;
 
@@ -131,40 +132,40 @@ int main(int argc, char** argv) {
     };
     if (arg == "-k") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       k = std::atoi(v);
     } else if (arg == "--sbp") {
       const char* v = next();
       const auto parsed = v != nullptr ? parse_sbp(v) : std::nullopt;
-      if (!parsed) { usage(); return 3; }
+      if (!parsed) { usage(); return kExitUsage; }
       sbps = *parsed;
     } else if (arg == "--shatter") {
       shatter_flow = true;
     } else if (arg == "--solver") {
       const char* v = next();
       const auto parsed = v != nullptr ? parse_solver(v) : std::nullopt;
-      if (!parsed) { usage(); return 3; }
+      if (!parsed) { usage(); return kExitUsage; }
       solver = *parsed;
     } else if (arg == "--search") {
       const char* v = next();
       const auto parsed = v != nullptr ? parse_search(v) : std::nullopt;
-      if (!parsed) { usage(); return 3; }
+      if (!parsed) { usage(); return kExitUsage; }
       search = *parsed;
     } else if (arg == "--threads") {
       const char* v = next();
-      if (v == nullptr || std::atoi(v) < 1) { usage(); return 3; }
+      if (v == nullptr || std::atoi(v) < 1) { usage(); return kExitUsage; }
       threads = std::atoi(v);
     } else if (arg == "--timeout") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       timeout = std::atof(v);
     } else if (arg == "--conflict-budget") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       conflict_budget = std::atoll(v);
     } else if (arg == "--prop-budget") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       prop_budget = std::atoll(v);
     } else if (arg == "--decision") {
       decision = true;
@@ -176,15 +177,15 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--opb") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       opb_path = v;
     } else if (arg == "--instance") {
       const char* v = next();
-      if (v == nullptr) { usage(); return 3; }
+      if (v == nullptr) { usage(); return kExitUsage; }
       instance_name = v;
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
-      return 3;
+      return kExitUsage;
     } else {
       graph_path = arg;
     }
@@ -207,17 +208,17 @@ int main(int argc, char** argv) {
         for (const Instance& inst : dimacs_suite()) {
           std::fprintf(stderr, "  %s\n", inst.name.c_str());
         }
-        return 3;
+        return kExitUsage;
       }
     } else if (!graph_path.empty()) {
       graph = read_dimacs_col_file(graph_path);
     } else {
       usage();
-      return 3;
+      return kExitUsage;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 3;
+    return kExitUsage;
   }
   std::printf("graph: %d vertices, %d edges\n", graph.num_vertices(),
               graph.num_edges());
@@ -227,13 +228,13 @@ int main(int argc, char** argv) {
     std::ofstream out(opb_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", opb_path.c_str());
-      return 3;
+      return kExitUsage;
     }
     write_opb(out, enc.formula);
     std::printf("wrote %s: %d vars, %d clauses, %d PB constraints\n",
                 opb_path.c_str(), enc.formula.num_vars(),
                 enc.formula.num_clauses(), enc.formula.num_pb());
-    return 0;
+    return kExitSolved;
   }
 
   // One budget covers the whole run; Ctrl-C asynchronously interrupts it
@@ -252,14 +253,14 @@ int main(int argc, char** argv) {
     if (r.status == OptStatus::Optimal) {
       std::printf("chromatic number: %d (%d SAT calls, %.3f s)\n",
                   r.num_colors, r.sat_calls, r.seconds);
-      return 0;
+      return kExitSolved;
     }
     std::printf(
         "stopped (%s); best coloring uses %d colors; "
         "chromatic number >= %d proven (%d SAT calls, %.3f s)\n",
         budget_trip_name(r.tripped), r.num_colors, r.lower_bound, r.sat_calls,
         r.seconds);
-    return 2;
+    return kExitStopped;
   }
 
   ColoringOptions options;
@@ -283,18 +284,11 @@ int main(int argc, char** argv) {
                   static_cast<int>(r.symmetry->generators.size()),
                   r.symmetry->detect_seconds);
     }
-    std::printf("solver: %lld conflicts, %lld decisions, %lld propagations\n",
-                static_cast<long long>(r.solver_stats.conflicts),
-                static_cast<long long>(r.solver_stats.decisions),
-                static_cast<long long>(r.solver_stats.propagations));
-    std::printf(
-        "budget: tripped=%s exits deadline=%lld conflicts=%lld "
-        "propagations=%lld interrupt=%lld\n",
-        budget_trip_name(r.tripped),
-        static_cast<long long>(r.solver_stats.deadline_exits),
-        static_cast<long long>(r.solver_stats.conflict_budget_exits),
-        static_cast<long long>(r.solver_stats.prop_budget_exits),
-        static_cast<long long>(r.solver_stats.interrupt_exits));
+    // Shared line formats (util/report.h) so tooling parses the CLI and
+    // symcolor_serve identically.
+    std::printf("%s\n", format_solver_line(r.solver_stats).c_str());
+    std::printf("%s\n",
+                format_budget_line(r.tripped, r.solver_stats).c_str());
   }
 
   switch (r.status) {
@@ -305,21 +299,21 @@ int main(int argc, char** argv) {
         std::printf("chromatic number: %d (%.3f s)\n", r.num_colors,
                     r.total_seconds);
       }
-      return 0;
+      return kExitSolved;
     case OptStatus::Infeasible:
       std::printf("not %d-colorable (%.3f s)\n", k, r.total_seconds);
-      return 1;
+      return kExitInfeasible;
     case OptStatus::Feasible:
       std::printf(
           "stopped (%s); best coloring uses %d colors; "
           "chromatic number >= %lld proven (%.3f s)\n",
           budget_trip_name(r.tripped), r.num_colors,
           static_cast<long long>(r.lower_bound), r.total_seconds);
-      return 2;
+      return kExitStopped;
     case OptStatus::Unknown:
       std::printf("stopped (%s) with no coloring found (%.3f s)\n",
                   budget_trip_name(r.tripped), r.total_seconds);
-      return 2;
+      return kExitStopped;
   }
-  return 2;
+  return kExitStopped;
 }
