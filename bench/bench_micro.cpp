@@ -292,6 +292,82 @@ BENCHMARK(BM_CdclPortfolioSpeedup)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Headline cube-and-conquer race on the SAME heavy-tailed instance as
+// BM_CdclPortfolioSpeedup (queen9, K = chi + 1, NU-only): lookahead cubes
+// partition the space so NO worker has to survive the base personality's
+// unlucky full-space wander — each slice either finishes or is split and
+// re-dealt. The number to beat is the 4-worker portfolio row above.
+// Real time: the cube workers run outside the benchmark thread.
+void BM_CdclCubeAndConquer(benchmark::State& state) {
+  const Graph g = make_queen_graph(9, 9);
+  const ColoringEncoding enc =
+      encode_k_coloring(g, 10, SbpOptions::nu_only());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.portfolio_threads = static_cast<int>(state.range(0));
+  config.cube_depth = 4;
+  for (auto _ : state) {
+    const auto engine = make_solver_engine(enc.formula, config);
+    benchmark::DoNotOptimize(engine->solve(Deadline(180.0)));
+  }
+}
+BENCHMARK(BM_CdclCubeAndConquer)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// CI-smoke twin of the cube engine: deterministic single-worker cube
+// solve of queen5 with a warmup small enough that every phase (lookahead
+// generation, cube dealing, slice-trip splitting) runs each iteration.
+// Deterministic mode keeps the timing race-free so the bench-compare
+// gate measures cube-machinery overhead, not thread-scheduling noise.
+void BM_CdclCubeSolveSmoke(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_k_coloring(g, 4, SbpOptions::none());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.cube_depth = 3;
+  config.cube_warmup_conflicts = 4;
+  config.cube_conflict_slice = 16;
+  config.portfolio_deterministic = true;
+  std::int64_t conflicts = 0;
+  for (auto _ : state) {
+    const auto engine = make_solver_engine(enc.formula, config);
+    benchmark::DoNotOptimize(engine->solve());
+    conflicts += engine->aggregated_stats().conflicts;
+  }
+  state.counters["conflicts_per_sec"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclCubeSolveSmoke);
+
+// Sharded ClauseExchange churn from a single thread: export a clause and
+// drain the import horizon every round, across 4 shards. This is the
+// uncontended cost every portfolio/cube worker pays at each exchange
+// interval, so the bench-compare gate on it proves the shard split did
+// not tax the 1-thread path it was supposed to leave alone.
+void BM_ClauseExchangeChurn(benchmark::State& state) {
+  const std::vector<Lit> clause = {Lit::positive(0), Lit::negative(1),
+                                   Lit::positive(2)};
+  std::int64_t exchanged = 0;
+  for (auto _ : state) {
+    ClauseExchange exchange(4096, 4);
+    std::size_t cursors[4] = {0, 0, 0, 0};
+    std::vector<SharedClause> in;
+    for (int round = 0; round < 1024; ++round) {
+      const int worker = round & 3;
+      exchange.export_clause(worker, clause, 2);
+      in.clear();
+      exchange.import_clauses(worker ^ 1, &cursors[worker ^ 1], &in);
+      exchanged += static_cast<std::int64_t>(in.size()) + 1;
+    }
+    benchmark::DoNotOptimize(exchange.exported());
+  }
+  state.counters["exchange_ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(exchanged), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClauseExchangeChurn);
+
 // One persistent engine, repeated assumption solves: the incremental-SAT
 // workload every optimizer loop now runs. Each iteration asks "<= k
 // colors?" for every k from K-1 down to chi via a single retractable

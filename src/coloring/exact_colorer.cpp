@@ -53,12 +53,14 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
   } else {
     SolverConfig config = profile_config(options.solver);
     config.portfolio_threads = options.threads;
+    config.cube_depth = options.cube_depth;
     result = optimization
                  ? minimize(enc.formula, config, budget, options.search)
                  : solve_decision(enc.formula, config, budget);
   }
   outcome.solve_seconds = solve_timer.seconds();
   outcome.solver_stats = result.stats;
+  outcome.solver_stats_all = result.agg_stats;
   outcome.status = result.status;
   outcome.lower_bound = result.lower_bound;
   if (optimization && result.budget_exhausted) {

@@ -45,6 +45,10 @@ struct ColoringOptions {
   /// 1 = the plain sequential engine. The reported optimum is identical
   /// at any thread count. Ignored by SolverKind::GenericIlp.
   int threads = 1;
+  /// > 0 switches the backend to cube-and-conquer (sat/cube_solver.h):
+  /// the search space is split into assumption cubes of up to this depth
+  /// and dealt to `threads` workers. Answers stay exact; 0 = off.
+  int cube_depth = 0;
   /// Whole-pipeline conflict / propagation budgets across all CDCL probes
   /// (<= 0 = unlimited; ignored by SolverKind::GenericIlp, whose search
   /// has no comparable counters).
@@ -81,6 +85,9 @@ struct ColoringOutcome {
   std::optional<SymmetryInfo> symmetry;  ///< set when Shatter ran
   int inst_dep_sbp_clauses = 0;
   SolverStats solver_stats;
+  /// All-workers sum (engine aggregated_stats()); equals solver_stats on
+  /// a sequential run, the whole pool's work on portfolio/cube runs.
+  SolverStats solver_stats_all;
   double encode_seconds = 0.0;
   double solve_seconds = 0.0;
   double total_seconds = 0.0;

@@ -103,6 +103,7 @@ struct MinimizeRun {
   OptResult finish(OptStatus status) {
     result.status = status;
     result.stats = engine->stats();
+    result.agg_stats = engine->aggregated_stats();
     result.seconds = timer.seconds();
     // Surface the model over the ORIGINAL variables only; the ladder
     // auxiliaries are an implementation detail of the search.
@@ -228,6 +229,7 @@ OptResult solve_decision(const Formula& formula, const SolverConfig& config,
   const SolveResult sat = solver->solve(budget);
   result.probes = 1;
   result.stats = solver->stats();
+  result.agg_stats = solver->aggregated_stats();
   result.seconds = timer.seconds();
   switch (sat) {
     case SolveResult::Sat:

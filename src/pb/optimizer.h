@@ -74,6 +74,10 @@ struct OptResult {
                              ///< the ORIGINAL formula's variables (ladder
                              ///< auxiliaries are stripped)
   SolverStats stats;         ///< cumulative across all probes (one engine)
+  /// All-workers view: the engine's aggregated_stats() — equal to `stats`
+  /// on a sequential backend, the sum over every portfolio/cube worker on
+  /// a parallel one (the honest cost of the run).
+  SolverStats agg_stats;
   /// Number of solve() calls the search issued — all against the same
   /// persistent engine; the strategy comparison statistic.
   int probes = 0;

@@ -1713,4 +1713,73 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
   }
 }
 
+CdclSolver::ProbeResult CdclSolver::probe_assumptions(
+    std::span<const Lit> assumptions) {
+  ProbeResult result;
+  if (!ok_) {
+    result.refuted = true;
+    return result;
+  }
+  backtrack(0);
+  if (propagate().valid()) {
+    ok_ = false;  // level-0 conflict: unsat outright
+    result.refuted = true;
+    return result;
+  }
+  const int root = static_cast<int>(trail_.size());
+  result.free_vars = num_vars() - root;
+  for (const Lit a : assumptions) {
+    if (!a.valid() || a.var() >= num_vars() ||
+        value(a) == LBool::False) {
+      result.refuted = true;
+      break;
+    }
+    if (value(a) == LBool::True) continue;
+    new_decision_level();
+    enqueue(a, {ReasonKind::None, kInvalidClauseRef});
+    if (propagate().valid()) {
+      result.refuted = true;
+      break;
+    }
+  }
+  if (!result.refuted) {
+    result.forced = static_cast<int>(trail_.size()) - root;
+  }
+  backtrack(0);
+  return result;
+}
+
+std::vector<Var> CdclSolver::top_branch_candidates(int k) const {
+  std::vector<Var> pool;
+  if (k <= 0) return pool;
+  pool.reserve(static_cast<std::size_t>(num_vars()));
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (value(v) == LBool::Undef) pool.push_back(v);
+  }
+  const std::vector<double>& activity = order_.scores();
+  const auto occurrences = [this](Var v) {
+    const auto pos = static_cast<std::size_t>(Lit::positive(v).code());
+    const auto neg = static_cast<std::size_t>(Lit::negative(v).code());
+    return static_cast<std::size_t>(watches_.size(pos)) +
+           static_cast<std::size_t>(watches_.size(neg)) +
+           static_cast<std::size_t>(bin_watches_.size(pos)) +
+           static_cast<std::size_t>(bin_watches_.size(neg));
+  };
+  const auto better = [&](Var a, Var b) {
+    const double aa = activity[static_cast<std::size_t>(a)];
+    const double ab = activity[static_cast<std::size_t>(b)];
+    if (aa != ab) return aa > ab;
+    const std::size_t oa = occurrences(a);
+    const std::size_t ob = occurrences(b);
+    if (oa != ob) return oa > ob;
+    return a < b;
+  };
+  const auto take = std::min(pool.size(), static_cast<std::size_t>(k));
+  std::partial_sort(pool.begin(),
+                    pool.begin() + static_cast<std::ptrdiff_t>(take),
+                    pool.end(), better);
+  pool.resize(take);
+  return pool;
+}
+
 }  // namespace symcolor

@@ -269,6 +269,36 @@ struct SolverConfig {
   /// Bound on the shared export buffer (clauses; further exports drop).
   std::size_t portfolio_buffer = 1 << 14;
 
+  // ---- cube-and-conquer (read by make_solver_engine/CubeAndConquerSolver,
+  // ---- ignored by CdclSolver itself) ----
+  /// > 0 selects the cube-and-conquer engine: lookahead probing splits the
+  /// search space into assumption cubes of (up to) this depth, dealt to
+  /// portfolio_threads workers from a shared queue. 0 = off. Splitting
+  /// beats the racing portfolio when the instance is hard enough that one
+  /// worker cannot finish a whole-space search inside the budget; racing
+  /// wins on instances where diversification alone finds a short proof.
+  int cube_depth = 0;
+  /// Candidate variables probed (both phases) per cube split, drawn from
+  /// the top of the activity heap.
+  int cube_candidates = 8;
+  /// Conflicts the master spends on a warmup solve (seeding activities and
+  /// learned clauses that cube generation branches on) before any cubes
+  /// are generated; easy instances never reach the cube phase. <= 0 skips
+  /// the warmup.
+  std::int64_t cube_warmup_conflicts = 2000;
+  /// Conflicts a worker spends on one cube before the cube is deemed
+  /// stuck, split further via the worker's own activity heap, and re-dealt
+  /// to the queue (the work-stealing tail). <= 0 disables splitting.
+  std::int64_t cube_conflict_slice = 20000;
+  /// A stuck cube stops re-splitting once its depth reaches cube_depth +
+  /// cube_max_extra_depth and runs to completion instead (bounds the
+  /// split cascade on adversarial instances).
+  int cube_max_extra_depth = 8;
+  /// Estimated-hardness cutoff: a branch whose probe already forces this
+  /// fraction of the free variables by unit propagation is emitted as a
+  /// leaf cube instead of being split further (the subproblem is easy).
+  double cube_easy_frac = 0.3;
+
   /// Deterministic fault injection (tests only; see FaultInjection).
   FaultInjection fault_injection;
 };
@@ -378,6 +408,39 @@ class CdclSolver final : public SolverEngine {
   /// therefore only bites with phase_saving off (saved polarities win
   /// otherwise).
   void reconfigure(const SolverConfig& config) override;
+
+  // ---- cube-generation probes (driven by sat/cubes.h) ----
+  /// Outcome of one propagation-count lookahead probe.
+  struct ProbeResult {
+    /// Some assumption falsified under unit propagation alone: the formula
+    /// plus the probed prefix is unsatisfiable (a sound refutation — no
+    /// search was involved, only propagation).
+    bool refuted = false;
+    /// Trail literals beyond the level-0 roots when every assumption was
+    /// enqueued and propagated (assumptions included): the propagation-
+    /// count hardness estimate — more forced means an easier subproblem.
+    int forced = 0;
+    /// Unassigned variables after root propagation, before any assumption
+    /// (the denominator of the forced-fraction easiness cutoff).
+    int free_vars = 0;
+  };
+  /// Take `assumptions` as decisions one by one under unit propagation
+  /// only — no conflict analysis, no learning, no activity bumps — and
+  /// report whether the prefix refutes and how much it forces. Leaves the
+  /// solver quiescent (level 0) either way, so probes interleave freely
+  /// with solve() calls.
+  [[nodiscard]] ProbeResult probe_assumptions(std::span<const Lit> assumptions);
+  /// The (up to) `k` unassigned variables with the highest VSIDS activity,
+  /// ties broken by watcher occurrence count (most-constrained first):
+  /// the branch candidates of the lookahead cube generator.
+  [[nodiscard]] std::vector<Var> top_branch_candidates(int k) const;
+  /// The phase pick_branch() would try first for `v` under the current
+  /// phase policy. Cube generation orders each split's saved-phase child
+  /// first so the model-finding branch keeps the solver's preference.
+  [[nodiscard]] bool saved_phase(Var v) const noexcept {
+    return config_.phase_saving ? polarity_[static_cast<std::size_t>(v)] != 0
+                                : config_.default_phase;
+  }
 
   // ---- storage introspection (tests / benchmarks) ----
   /// Total watcher entries across all literals (binary + long pools).

@@ -1,0 +1,454 @@
+#include "sat/cube_solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace symcolor {
+
+CubeAndConquerSolver::CubeAndConquerSolver(const Formula& formula,
+                                           SolverConfig config)
+    : config_(config),
+      master_(std::make_unique<CdclSolver>(formula, config)) {}
+
+CubeAndConquerSolver::CubeAndConquerSolver(const CubeAndConquerSolver& other)
+    : config_(other.config_),
+      master_(std::make_unique<CdclSolver>(*other.master_)),
+      model_(other.model_),
+      core_(other.core_),
+      stats_(other.stats_),
+      agg_stats_(other.agg_stats_),
+      last_trip_(other.last_trip_),
+      last_cubes_(other.last_cubes_),
+      last_refuted_(other.last_refuted_),
+      last_pruned_(other.last_pruned_),
+      last_splits_(other.last_splits_),
+      last_faults_(other.last_faults_),
+      last_winner_(other.last_winner_) {}
+
+bool CubeAndConquerSolver::add_clause(Clause clause) {
+  return master_->add_clause(std::move(clause));
+}
+
+bool CubeAndConquerSolver::add_pb(PbConstraint constraint) {
+  return master_->add_pb(std::move(constraint));
+}
+
+SolveResult CubeAndConquerSolver::adopt_master_result(SolveResult r) {
+  stats_ = master_->stats();
+  last_trip_ = master_->last_trip();
+  if (r == SolveResult::Sat) model_ = master_->model();
+  core_.assign(master_->last_core().begin(), master_->last_core().end());
+  last_winner_ = r == SolveResult::Unknown ? -1 : 0;
+  return r;
+}
+
+SolveResult CubeAndConquerSolver::solve_on_master(
+    const SolveBudget& budget, std::span<const Lit> assumptions) {
+  return adopt_master_result(master_->solve(budget, assumptions));
+}
+
+SolveResult CubeAndConquerSolver::solve(const SolveBudget& budget,
+                                        std::span<const Lit> assumptions) {
+  last_cubes_ = last_refuted_ = last_pruned_ = last_splits_ = 0;
+  last_faults_ = 0;
+  last_winner_ = -1;
+  const SolverStats before = master_->stats();
+  // Everything the master does this solve (warmup, generation probes, its
+  // own cubes) lands in the aggregated view through this delta.
+  const auto fold_master = [&] {
+    accumulate_stats(&agg_stats_, stats_delta(master_->stats(), before));
+  };
+
+  // Fault targeting mirrors the portfolio: a spec aimed at a worker > 0
+  // stays armed in config_ (the target clone receives it at spawn) but is
+  // stripped off the master so the warmup does not fire it. A spec aimed
+  // at worker 0 (or all workers) fires during the master's warmup, where
+  // no survivor exists yet — it propagates to the caller, matching the
+  // portfolio's no-survivors semantics.
+  if (config_.fault_injection.armed() && config_.fault_injection.worker > 0) {
+    SolverConfig clean = config_;
+    clean.fault_injection = {};
+    master_->reconfigure(clean);
+  }
+
+  if (const BudgetTrip trip = budget.poll(); trip != BudgetTrip::None) {
+    stats_ = master_->stats();
+    last_trip_ = trip;
+    return SolveResult::Unknown;
+  }
+
+  // ---- phase 1: warmup ----
+  // A short budgeted master solve answers easy instances outright and
+  // seeds the activities/learned clauses the lookahead branches on.
+  if (config_.cube_warmup_conflicts > 0) {
+    const SolveBudget warm =
+        budget.child(0.0, config_.cube_warmup_conflicts, 0);
+    const SolveResult r = master_->solve(warm, assumptions);
+    if (r != SolveResult::Unknown) {
+      fold_master();
+      return adopt_master_result(r);
+    }
+    const BudgetTrip trip = master_->last_trip();
+    const BudgetTrip parent = budget.poll();
+    if (parent != BudgetTrip::None || trip != BudgetTrip::Conflicts) {
+      // The caller's own budget (deadline, interrupt, propagation cap)
+      // ended the warmup — only an exhausted warmup conflict slice
+      // continues into the cube phase.
+      fold_master();
+      stats_ = master_->stats();
+      last_trip_ = parent != BudgetTrip::None ? parent : trip;
+      return SolveResult::Unknown;
+    }
+  }
+
+  // ---- phase 2: lookahead cube generation on the master ----
+  CubeGenOptions gopts;
+  gopts.depth = std::max(1, config_.cube_depth);
+  gopts.candidates = std::max(1, config_.cube_candidates);
+  gopts.easy_frac = config_.cube_easy_frac;
+  CubeGenStats gstats;
+  std::vector<Cube> cubes =
+      generate_cubes(*master_, assumptions, gopts, &gstats);
+  if (cubes.empty()) {
+    // Root refuted, or every branch closed by propagation: re-derive
+    // through a plain solve so the answer carries a properly analyzed
+    // core (cheap — propagation alone already refutes).
+    const SolveResult r = solve_on_master(budget, assumptions);
+    fold_master();
+    return r;
+  }
+  last_cubes_ = cubes.size();
+
+  // ---- phase 3: conquer ----
+  const bool deterministic = config_.portfolio_deterministic;
+  const int n = deterministic ? 1 : std::max(1, config_.portfolio_threads);
+  const int max_depth =
+      gopts.depth + std::max(0, config_.cube_max_extra_depth);
+
+  CubeQueue queue;
+  for (Cube& c : cubes) queue.push(std::move(c));
+
+  // Worker 0 is the master (its learning persists into the next query);
+  // 1..n-1 are diversified clones of the warmed-up master.
+  std::vector<std::unique_ptr<CdclSolver>> clones;
+  std::vector<CdclSolver*> workers;
+  workers.push_back(master_.get());
+  const SolverStats clone_base = master_->stats();
+  clones.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    clones.push_back(std::make_unique<CdclSolver>(*master_));
+    SolverConfig wc = diversify_config(config_, i);
+    if (wc.fault_injection.armed() && wc.fault_injection.worker >= 0 &&
+        wc.fault_injection.worker != i) {
+      wc.fault_injection = {};
+    }
+    clones.back()->reconfigure(wc);
+    workers.push_back(clones.back().get());
+  }
+
+  ClauseExchange exchange(config_.portfolio_buffer, n);
+  std::atomic<bool> stop{false};
+  std::atomic<int> sat_winner{-1};
+  std::atomic<int> unsat_winner{-1};
+  std::atomic<bool> tripped{false};
+  // Refutations without core attribution (generation probes, resplit
+  // probes) poison the per-cube core union: fall back to the full
+  // assumption set, which is always a valid core of an Unsat answer.
+  std::atomic<bool> core_unattributed{gstats.refuted_branches > 0};
+  std::atomic<std::size_t> refuted{0};
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> splits{0};
+  std::mutex shared_mutex;  // guards union_core / whole_core / global_trip
+  std::vector<Lit> union_core;  // union of refuted cubes' caller parts
+  std::vector<Lit> whole_core;  // core of a cube-free refutation
+  BudgetTrip global_trip = BudgetTrip::None;
+  std::vector<std::exception_ptr> faults(static_cast<std::size_t>(n));
+
+  const auto run = [&](int i) {
+    CdclSolver* solver = workers[static_cast<std::size_t>(i)];
+    Cube cube;
+    bool in_flight = false;
+    try {
+      if (!deterministic && n > 1) {
+        solver->set_sharing(&exchange, i);
+        solver->set_interrupt(&stop);
+      }
+      std::vector<Lit> combined;
+      while (queue.pop(&cube)) {
+        in_flight = true;
+        combined.assign(assumptions.begin(), assumptions.end());
+        combined.insert(combined.end(), cube.lits.begin(), cube.lits.end());
+        // Shallow cubes run on a conflict slice so stragglers surface for
+        // splitting; past the split horizon a cube runs to completion.
+        const bool sliced =
+            config_.cube_conflict_slice > 0 && cube.depth < max_depth;
+        const SolveBudget slice = budget.child(
+            0.0, sliced ? config_.cube_conflict_slice : 0, 0);
+        const SolveResult r = solver->solve(slice, combined);
+
+        if (r == SolveResult::Sat) {
+          // A model of F + assumptions + cube is a model of the query.
+          int expected = -1;
+          if (sat_winner.compare_exchange_strong(expected, i)) {
+            stop.store(true);
+          }
+          queue.finish();
+          in_flight = false;
+          queue.stop();
+          return;
+        }
+
+        if (r == SolveResult::Unsat) {
+          refuted.fetch_add(1, std::memory_order_relaxed);
+          // Split the analyzed core between the cube's own literals and
+          // the caller's assumptions.
+          std::vector<Lit> cube_part;
+          std::vector<Lit> assume_part;
+          for (const Lit l : solver->last_core()) {
+            const bool in_cube = std::find(cube.lits.begin(),
+                                           cube.lits.end(),
+                                           l) != cube.lits.end();
+            (in_cube ? cube_part : assume_part).push_back(l);
+          }
+          if (cube_part.empty()) {
+            // The refutation never leaned on the cube: F under the
+            // caller's assumptions alone is unsat — the global answer,
+            // with this core.
+            {
+              const std::lock_guard<std::mutex> lock(shared_mutex);
+              int none = -1;
+              if (unsat_winner.compare_exchange_strong(none, i)) {
+                whole_core = std::move(assume_part);
+              }
+            }
+            stop.store(true);
+            queue.finish();
+            in_flight = false;
+            queue.stop();
+            return;
+          }
+          {
+            const std::lock_guard<std::mutex> lock(shared_mutex);
+            union_core.insert(union_core.end(), assume_part.begin(),
+                              assume_part.end());
+          }
+          // Core-driven sibling pruning: a queued cube containing every
+          // core cube-literal is a superset of a proven-unsat prefix.
+          const std::size_t cut = queue.prune([&cube_part](const Cube& sib) {
+            for (const Lit l : cube_part) {
+              if (std::find(sib.lits.begin(), sib.lits.end(), l) ==
+                  sib.lits.end()) {
+                return false;
+              }
+            }
+            return true;
+          });
+          pruned.fetch_add(cut, std::memory_order_relaxed);
+          queue.finish();
+          in_flight = false;
+          continue;
+        }
+
+        // Unknown: a slice-bounded conflict trip means a stuck cube (the
+        // work-stealing signal); anything else is a global condition.
+        const BudgetTrip trip = solver->last_trip();
+        const bool global = stop.load() || !sliced ||
+                            trip != BudgetTrip::Conflicts ||
+                            budget.poll() != BudgetTrip::None;
+        if (!global) {
+          // Split on THIS worker's activity heap — it reflects exactly
+          // the cube's hard core — and re-deal the children.
+          CubeGenStats sstats;
+          SplitResult split =
+              split_cube(*solver, assumptions, cube, gopts, &sstats);
+          if (sstats.refuted_branches > 0 && !assumptions.empty()) {
+            core_unattributed.store(true);
+          }
+          if (split.refuted) {
+            refuted.fetch_add(1, std::memory_order_relaxed);
+            queue.finish();
+            in_flight = false;
+            continue;
+          }
+          splits.fetch_add(1, std::memory_order_relaxed);
+          if (split.children.empty()) {
+            // No free candidate to split on: push past the split horizon
+            // so the cube runs to completion on its next deal.
+            Cube deep = std::move(cube);
+            deep.depth = max_depth;
+            queue.push(std::move(deep));
+          } else {
+            for (Cube& child : split.children) {
+              queue.push(std::move(child));
+            }
+          }
+          queue.finish();
+          in_flight = false;
+          continue;
+        }
+        // Global budget condition: record the trip and wind the race
+        // down, re-dealing the cube so the bookkeeping stays exact.
+        {
+          const std::lock_guard<std::mutex> lock(shared_mutex);
+          if (global_trip == BudgetTrip::None) {
+            const BudgetTrip parent = budget.poll();
+            global_trip = parent != BudgetTrip::None ? parent : trip;
+          }
+        }
+        tripped.store(true);
+        stop.store(true);
+        queue.push(std::move(cube));
+        queue.finish();
+        in_flight = false;
+        queue.stop();
+        return;
+      }
+    } catch (...) {
+      // Exception barrier: record the death and re-deal the in-flight
+      // cube — the partition must stay covered for Unsat to be sound.
+      faults[static_cast<std::size_t>(i)] = std::current_exception();
+      if (in_flight) {
+        queue.push(std::move(cube));
+        queue.finish();
+      }
+    }
+  };
+
+  if (n == 1) {
+    run(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    try {
+      for (int i = 0; i < n; ++i) threads.emplace_back(run, i);
+    } catch (...) {
+      stop.store(true);
+      queue.stop();
+      for (std::thread& t : threads) t.join();
+      master_->set_sharing(nullptr, 0);
+      master_->set_interrupt(nullptr);
+      throw;
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  master_->set_sharing(nullptr, 0);
+  master_->set_interrupt(nullptr);
+
+  // Aggregate every worker's contribution (dead workers' counters are
+  // settled once their threads joined; their partial search was real
+  // work). Clones copied the master AFTER warmup + generation, so the
+  // clone_base snapshot keeps that work single-counted.
+  fold_master();
+  for (const auto& clone : clones) {
+    accumulate_stats(&agg_stats_, stats_delta(clone->stats(), clone_base));
+  }
+
+  int fault_count = 0;
+  for (const std::exception_ptr& f : faults) fault_count += f != nullptr;
+  last_faults_ = fault_count;
+  if (fault_count == n) {
+    // No survivors: nothing can vouch for an answer.
+    std::rethrow_exception(faults[0]);
+  }
+  if (fault_count > 0) {
+    // Injected faults are one-shot, as in the portfolio.
+    config_.fault_injection = {};
+  }
+  if (faults[0]) {
+    // Master died mid-cube: rebuild it from a surviving clone (sound —
+    // a quiescent clone holds only consequences of the shared formula).
+    for (int i = 1; i < n; ++i) {
+      if (faults[static_cast<std::size_t>(i)]) continue;
+      master_ = std::make_unique<CdclSolver>(
+          *workers[static_cast<std::size_t>(i)]);
+      master_->reconfigure(config_);
+      break;
+    }
+  }
+
+  last_refuted_ = refuted.load();
+  last_pruned_ = pruned.load();
+  last_splits_ = splits.load();
+  // Stamp the schedule counters into both stats views once the winner's
+  // stats are chosen below — worker stats never carry cube counters, so
+  // the overwrite is the only source.
+  const auto stamp_cube_stats = [this] {
+    stats_.cubes_dealt = static_cast<std::int64_t>(last_cubes_);
+    stats_.cubes_refuted = static_cast<std::int64_t>(last_refuted_);
+    stats_.cube_siblings_pruned = static_cast<std::int64_t>(last_pruned_);
+    stats_.cube_splits = static_cast<std::int64_t>(last_splits_);
+    agg_stats_.cubes_dealt += stats_.cubes_dealt;
+    agg_stats_.cubes_refuted += stats_.cubes_refuted;
+    agg_stats_.cube_siblings_pruned += stats_.cube_siblings_pruned;
+    agg_stats_.cube_splits += stats_.cube_splits;
+  };
+
+  const int sat_i = sat_winner.load();
+  const int unsat_i = unsat_winner.load();
+  if (sat_i >= 0 && unsat_i >= 0) {
+    // A model and a whole-space refutation cannot both exist: one of the
+    // workers is unsound — fail loudly, as the portfolio does.
+    throw std::logic_error("cube workers disagree on SAT/UNSAT");
+  }
+  if (sat_i >= 0) {
+    CdclSolver* win = workers[static_cast<std::size_t>(sat_i)];
+    stats_ = win->stats();
+    stamp_cube_stats();
+    model_ = win->model();
+    core_.clear();
+    last_trip_ = BudgetTrip::None;
+    last_winner_ = sat_i;
+    return SolveResult::Sat;
+  }
+  if (unsat_i >= 0) {
+    core_ = std::move(whole_core);
+    // The refuter completed its path, so it never faulted and its
+    // worker pointer is valid even after a master repair.
+    stats_ = workers[static_cast<std::size_t>(unsat_i)]->stats();
+    stamp_cube_stats();
+    last_trip_ = BudgetTrip::None;
+    last_winner_ = unsat_i;
+    return SolveResult::Unsat;
+  }
+  if (!tripped.load() && queue.outstanding() == 0) {
+    // Every cube in the partition refuted: the query is Unsat. The core
+    // is the union of the per-cube caller parts unless some refutation
+    // lacked attribution, where the full assumption set (always a valid
+    // core of an Unsat answer) stands in.
+    if (assumptions.empty()) {
+      core_.clear();
+    } else if (core_unattributed.load()) {
+      core_.assign(assumptions.begin(), assumptions.end());
+    } else {
+      std::sort(union_core.begin(), union_core.end(),
+                [](Lit a, Lit b) { return a.code() < b.code(); });
+      union_core.erase(std::unique(union_core.begin(), union_core.end()),
+                       union_core.end());
+      core_ = std::move(union_core);
+    }
+    stats_ = master_->stats();
+    stamp_cube_stats();
+    last_trip_ = BudgetTrip::None;
+    last_winner_ = 0;
+    return SolveResult::Unsat;
+  }
+  // Budget trip (or a wound-down race after faults): Unknown with the
+  // recorded global condition.
+  stats_ = master_->stats();
+  stamp_cube_stats();
+  if (global_trip != BudgetTrip::None) {
+    last_trip_ = global_trip;
+  } else {
+    const BudgetTrip parent = budget.poll();
+    last_trip_ = parent != BudgetTrip::None ? parent : BudgetTrip::Interrupt;
+  }
+  last_winner_ = -1;
+  return SolveResult::Unknown;
+}
+
+}  // namespace symcolor

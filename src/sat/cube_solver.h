@@ -1,0 +1,163 @@
+#pragma once
+// Cube-and-conquer over the assumption substrate.
+//
+// Where the portfolio (sat/portfolio.h) races N full copies of the whole
+// search, CubeAndConquerSolver *splits the search space*: a lookahead
+// generator (sat/cubes.h) partitions it into assumption cubes, a shared
+// work queue deals cubes to a pool of cloned workers, and the partition
+// semantics give exact answers — any Sat cube yields a model of the
+// original query, and refuting EVERY cube refutes it. The per-solve flow:
+//
+//   1. warmup — the master runs a short budgeted solve. Easy instances
+//      never reach the cube phase; hard ones come out with seeded
+//      activities and learned clauses for the generator to branch on.
+//   2. generation — propagation-count lookahead on the master emits the
+//      cube frontier (see cubes.h).
+//   3. conquer — worker 0 IS the master (whatever it learns persists into
+//      the next query), workers 1..N-1 are diversified clones; all pull
+//      from one CubeQueue and share glue clauses/PB rows through the
+//      ClauseExchange. Sharing across cubes is sound: learnt constraints
+//      are consequences of the formula alone — conflict analysis never
+//      resolves on assumption pseudo-decisions.
+//
+// Work stealing from the straggler tail: a cube that exhausts its
+// conflict slice is split further ON THE STUCK WORKER (whose activity
+// heap reflects exactly that cube's hard core) and its children are
+// re-dealt to the queue, so a straggler cube becomes everybody's work
+// instead of one worker's tail latency.
+//
+// Core-driven sibling pruning: a refuted cube's failed-assumption core
+// names the cube literals that actually mattered. Every queued sibling
+// whose literal set contains that core fragment is unsatisfiable by the
+// same argument and is pruned unsolved (counted in last_pruned_siblings).
+// Pruning is sound for satisfiable siblings by construction — a pruned
+// cube is a superset of a proven-unsat prefix, so it has no models.
+//
+// Termination and budget semantics match the engine contract: first Sat
+// wins and flips the stop flag; all-cubes-refuted returns Unsat with a
+// core assembled from the per-cube cores' caller-assumption parts (the
+// full assumption set when any refutation lacked core attribution, e.g.
+// generation-time propagation refutations — always a valid core); a
+// budget trip returns Unknown with well-formed stats and last_trip().
+// Counted caps (conflicts/propagations) bound each worker's solve, not
+// the sum — same convention as the portfolio; wall clock and interrupt
+// are global. Deterministic mode runs the whole cube schedule
+// sequentially on the master in deal order with sharing off, so repeated
+// runs reproduce the same answer, model, and stats.
+//
+// Fault isolation mirrors the portfolio: each worker runs under an
+// exception barrier; a dead worker's in-flight cube is re-dealt so the
+// partition stays covered, and only an all-workers death rethrows.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sat/cdcl.h"
+#include "sat/cubes.h"
+#include "sat/portfolio.h"
+#include "sat/solver_engine.h"
+
+namespace symcolor {
+
+/// SolverEngine that conquers a lookahead cube partition with a pool of
+/// cloned workers. See the header comment for the architecture; obtain
+/// one through make_solver_engine with SolverConfig::cube_depth > 0.
+class CubeAndConquerSolver final : public SolverEngine {
+ public:
+  CubeAndConquerSolver(const Formula& formula, SolverConfig config);
+
+  bool add_clause(Clause clause) override;
+  bool add_pb(PbConstraint constraint) override;
+  SolveResult solve(const SolveBudget& budget = {},
+                    std::span<const Lit> assumptions = {}) override;
+  [[nodiscard]] BudgetTrip last_trip() const noexcept override {
+    return last_trip_;
+  }
+  [[nodiscard]] const std::vector<LBool>& model() const noexcept override {
+    return model_;
+  }
+  /// Failed-assumption core of the last Unsat answer: the union of the
+  /// caller-assumption parts of every refuted cube's core (or a single
+  /// refutation's part when one cube already refutes without its cube
+  /// literals), falling back to the full assumption set when any
+  /// refutation lacked core attribution. Empty iff unsatisfiability does
+  /// not depend on the caller's assumptions.
+  [[nodiscard]] std::span<const Lit> last_core() const noexcept override {
+    return core_;
+  }
+  /// Stats of the answering worker (the Sat winner / the whole-space
+  /// refuter's view); aggregated_stats() has the all-workers sum.
+  [[nodiscard]] const SolverStats& stats() const noexcept override {
+    return stats_;
+  }
+  /// Field-wise sum of every worker's counters (master warmup and probe
+  /// propagation included), cumulative across solve() calls.
+  [[nodiscard]] const SolverStats& aggregated_stats()
+      const noexcept override {
+    return agg_stats_;
+  }
+  [[nodiscard]] int num_vars() const noexcept override {
+    return master_->num_vars();
+  }
+  [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
+    return std::unique_ptr<SolverEngine>(new CubeAndConquerSolver(*this));
+  }
+  void reconfigure(const SolverConfig& config) override {
+    config_ = config;
+    master_->reconfigure(config);
+  }
+
+  // ---- schedule introspection (tests / benchmarks / --stats) ----
+  /// Cubes the generator emitted for the last solve (0 when the warmup
+  /// answered or the solve fell back to a plain master run).
+  [[nodiscard]] std::size_t last_cubes() const noexcept {
+    return last_cubes_;
+  }
+  /// Cubes refuted by workers (full solves, not generation probes).
+  [[nodiscard]] std::size_t last_refuted_cubes() const noexcept {
+    return last_refuted_;
+  }
+  /// Queued siblings pruned unsolved by refuted cubes' cores.
+  [[nodiscard]] std::size_t last_pruned_siblings() const noexcept {
+    return last_pruned_;
+  }
+  /// Stuck cubes split further and re-dealt (the work-stealing tail).
+  [[nodiscard]] std::size_t last_splits() const noexcept {
+    return last_splits_;
+  }
+  /// Workers that died behind the exception barrier in the last solve().
+  [[nodiscard]] int last_fault_count() const noexcept {
+    return last_faults_;
+  }
+  /// Worker index whose answer the last solve() surfaced (-1 = none).
+  [[nodiscard]] int last_winner() const noexcept { return last_winner_; }
+
+ private:
+  CubeAndConquerSolver(const CubeAndConquerSolver& other);
+
+  /// Plain master solve under the caller's budget — the fallback when the
+  /// instance never reaches (or cannot use) the cube phase.
+  SolveResult solve_on_master(const SolveBudget& budget,
+                              std::span<const Lit> assumptions);
+  /// Adopt the master's last answer into the engine-level result fields.
+  SolveResult adopt_master_result(SolveResult r);
+
+  SolverConfig config_;
+  /// Owned behind a pointer so a dead master can be swapped for a rebuilt
+  /// one (copied from a surviving clone), as in the portfolio.
+  std::unique_ptr<CdclSolver> master_;
+  std::vector<LBool> model_;
+  std::vector<Lit> core_;
+  SolverStats stats_;
+  SolverStats agg_stats_;
+  BudgetTrip last_trip_ = BudgetTrip::None;
+  std::size_t last_cubes_ = 0;
+  std::size_t last_refuted_ = 0;
+  std::size_t last_pruned_ = 0;
+  std::size_t last_splits_ = 0;
+  int last_faults_ = 0;
+  int last_winner_ = -1;
+};
+
+}  // namespace symcolor

@@ -1,0 +1,170 @@
+#include "sat/cubes.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace symcolor {
+
+namespace {
+
+/// The literal branching on `v` with phase `phase_true` (pick_branch's
+/// encoding: Lit(v, negated)).
+Lit phase_lit(Var v, bool phase_true) { return Lit(v, !phase_true); }
+
+/// base + cube.lits + optionally one extension literal, reused across
+/// probes to avoid reallocating per candidate.
+void build_prefix(std::span<const Lit> base, const Cube& cube,
+                  std::vector<Lit>* out) {
+  out->clear();
+  out->reserve(base.size() + cube.lits.size() + 1);
+  out->insert(out->end(), base.begin(), base.end());
+  out->insert(out->end(), cube.lits.begin(), cube.lits.end());
+}
+
+}  // namespace
+
+SplitResult split_cube(CdclSolver& probe, std::span<const Lit> base,
+                       const Cube& cube, const CubeGenOptions& options,
+                       CubeGenStats* stats) {
+  SplitResult result;
+  std::vector<Lit> prefix;
+  build_prefix(base, cube, &prefix);
+
+  // Re-check the cube itself first: shared clauses learned since the
+  // parent was probed (or the stuck worker's own learning) may refute it
+  // by propagation alone now.
+  const CdclSolver::ProbeResult parent = probe.probe_assumptions(prefix);
+  ++stats->probes;
+  if (parent.refuted) {
+    ++stats->refuted_branches;
+    result.refuted = true;
+    return result;
+  }
+
+  const std::vector<Var> candidates =
+      probe.top_branch_candidates(options.candidates);
+  Var best = -1;
+  bool best_phase = false;
+  int best_pos = 0;
+  int best_neg = 0;
+  std::int64_t best_score = -1;
+  prefix.push_back(kUndefLit);  // slot for the candidate literal
+  for (const Var v : candidates) {
+    // Skip variables the cube already pins (their probes are no-ops).
+    const auto pinned = [v](Lit l) { return l.var() == v; };
+    if (std::any_of(cube.lits.begin(), cube.lits.end(), pinned) ||
+        std::any_of(base.begin(), base.end(), pinned)) {
+      continue;
+    }
+    prefix.back() = Lit::positive(v);
+    const CdclSolver::ProbeResult pos = probe.probe_assumptions(prefix);
+    prefix.back() = Lit::negative(v);
+    const CdclSolver::ProbeResult neg = probe.probe_assumptions(prefix);
+    stats->probes += 2;
+    if (pos.refuted && neg.refuted) {
+      // Both phases refute: the cube itself is unsatisfiable.
+      ++stats->refuted_branches;
+      result.refuted = true;
+      return result;
+    }
+    if (pos.refuted || neg.refuted) {
+      // Failed literal: the surviving phase is forced — strengthen the
+      // cube for free instead of splitting.
+      ++stats->failed_literals;
+      Cube child = cube;
+      child.lits.push_back(pos.refuted ? Lit::negative(v)
+                                       : Lit::positive(v));
+      child.depth = cube.depth + 1;
+      result.children.push_back(std::move(child));
+      result.forced.push_back(pos.refuted ? neg.forced : pos.forced);
+      return result;
+    }
+    // Split where BOTH children simplify: maximize min(forced), tie-break
+    // on total propagation power.
+    const std::int64_t score =
+        static_cast<std::int64_t>(std::min(pos.forced, neg.forced)) * 1024 +
+        pos.forced + neg.forced;
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+      best_phase = probe.saved_phase(v);
+      best_pos = pos.forced;
+      best_neg = neg.forced;
+    }
+  }
+  if (best < 0) return result;  // no free candidate: unsplittable leaf
+
+  // Saved-phase child first: on satisfiable instances the solver's own
+  // phase preference is where a model is most likely, and the scheduler
+  // deals cubes in order.
+  Cube first = cube;
+  first.lits.push_back(phase_lit(best, best_phase));
+  first.depth = cube.depth + 1;
+  Cube second = cube;
+  second.lits.push_back(phase_lit(best, !best_phase));
+  second.depth = cube.depth + 1;
+  result.children.push_back(std::move(first));
+  result.forced.push_back(best_phase ? best_pos : best_neg);
+  result.children.push_back(std::move(second));
+  result.forced.push_back(best_phase ? best_neg : best_pos);
+  return result;
+}
+
+std::vector<Cube> generate_cubes(CdclSolver& probe, std::span<const Lit> base,
+                                 const CubeGenOptions& options,
+                                 CubeGenStats* stats) {
+  std::vector<Cube> empty;
+  const CdclSolver::ProbeResult root = probe.probe_assumptions(base);
+  ++stats->probes;
+  if (root.refuted) {
+    stats->root_refuted = true;
+    return empty;
+  }
+  const int free_vars = root.free_vars;
+
+  struct Node {
+    Cube cube;
+    bool leaf = false;
+  };
+  std::vector<Node> frontier;
+  frontier.push_back({Cube{}, false});
+  for (int d = 0; d < options.depth; ++d) {
+    std::vector<Node> next;
+    next.reserve(frontier.size() * 2);
+    bool any_split = false;
+    for (Node& node : frontier) {
+      if (node.leaf || next.size() + 2 > options.max_cubes) {
+        next.push_back(std::move(node));
+        continue;
+      }
+      SplitResult split =
+          split_cube(probe, base, node.cube, options, stats);
+      if (split.refuted) continue;  // branch closed by propagation
+      if (split.children.empty()) {
+        // Unsplittable (every candidate pinned/assigned): keep as a leaf.
+        node.leaf = true;
+        next.push_back(std::move(node));
+        continue;
+      }
+      any_split = true;
+      for (std::size_t i = 0; i < split.children.size(); ++i) {
+        // Estimated-hardness cutoff: a child whose probe already forces a
+        // healthy fraction of the free variables is easy — emit as leaf.
+        const bool easy =
+            free_vars > 0 &&
+            static_cast<double>(split.forced[i]) >=
+                options.easy_frac * static_cast<double>(free_vars);
+        next.push_back({std::move(split.children[i]), easy});
+      }
+    }
+    frontier = std::move(next);
+    if (!any_split || frontier.empty()) break;
+  }
+
+  std::vector<Cube> cubes;
+  cubes.reserve(frontier.size());
+  for (Node& node : frontier) cubes.push_back(std::move(node.cube));
+  return cubes;
+}
+
+}  // namespace symcolor

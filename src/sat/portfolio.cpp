@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sat/cube_solver.h"
+
 namespace symcolor {
 
 std::uint64_t mix_worker_seed(std::uint64_t base_seed, int worker) {
@@ -69,62 +71,85 @@ SolverConfig diversify_config(const SolverConfig& base, int index) {
 
 bool ClauseExchange::export_clause(int worker, std::span<const Lit> lits,
                                    int lbd) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= capacity_) {
-    ++dropped_;
+  Shard& shard = shard_for(worker);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  // The sequence number is claimed INSIDE the shard's critical section:
+  // an importer that later observes next_seq_ >= seq and locks this shard
+  // is therefore guaranteed to see the append below (see the class
+  // comment for the full argument).
+  const std::size_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  if (seq >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   // The exporter already filtered on its own glue cap; the learn-time LBD
   // rides along so every importer can re-apply its own admission caps.
-  entries_.push_back({worker, {Clause(lits.begin(), lits.end()), lbd}});
+  shard.entries.push_back({worker, seq, {Clause(lits.begin(), lits.end()), lbd}});
   return true;
 }
 
 void ClauseExchange::import_clauses(int worker, std::size_t* cursor,
                                     std::vector<SharedClause>* out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (std::size_t i = *cursor; i < entries_.size(); ++i) {
-    if (entries_[i].worker == worker) continue;  // own export
-    out->push_back(entries_[i].clause);
+  const std::size_t horizon =
+      std::min(next_seq_.load(std::memory_order_acquire), capacity_);
+  if (*cursor >= horizon) return;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = std::lower_bound(
+        shard.entries.begin(), shard.entries.end(), *cursor,
+        [](const Entry& e, std::size_t c) { return e.seq < c; });
+    for (; it != shard.entries.end() && it->seq < horizon; ++it) {
+      if (it->worker == worker) continue;  // own export
+      out->push_back(it->clause);
+    }
   }
-  *cursor = entries_.size();
+  *cursor = horizon;
 }
 
 bool ClauseExchange::export_pb(int worker, std::span<const PbTerm> terms,
                                std::int64_t degree, int lbd) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (pb_entries_.size() >= capacity_) {
-    ++dropped_;
+  Shard& shard = shard_for(worker);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::size_t seq =
+      next_pb_seq_.fetch_add(1, std::memory_order_acq_rel);
+  if (seq >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  pb_entries_.push_back(
-      {worker, {std::vector<PbTerm>(terms.begin(), terms.end()), degree, lbd}});
+  shard.pb_entries.push_back(
+      {worker, seq,
+       {std::vector<PbTerm>(terms.begin(), terms.end()), degree, lbd}});
   return true;
 }
 
 void ClauseExchange::import_pbs(int worker, std::size_t* cursor,
                                 std::vector<SharedPb>* out) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (std::size_t i = *cursor; i < pb_entries_.size(); ++i) {
-    if (pb_entries_[i].worker == worker) continue;  // own export
-    out->push_back(pb_entries_[i].pb);
+  const std::size_t horizon =
+      std::min(next_pb_seq_.load(std::memory_order_acquire), capacity_);
+  if (*cursor >= horizon) return;
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = std::lower_bound(
+        shard.pb_entries.begin(), shard.pb_entries.end(), *cursor,
+        [](const PbEntry& e, std::size_t c) { return e.seq < c; });
+    for (; it != shard.pb_entries.end() && it->seq < horizon; ++it) {
+      if (it->worker == worker) continue;  // own export
+      out->push_back(it->pb);
+    }
   }
-  *cursor = pb_entries_.size();
+  *cursor = horizon;
 }
 
 std::size_t ClauseExchange::exported() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  return std::min(next_seq_.load(std::memory_order_acquire), capacity_);
 }
 
 std::size_t ClauseExchange::exported_pbs() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return pb_entries_.size();
+  return std::min(next_pb_seq_.load(std::memory_order_acquire), capacity_);
 }
 
 std::size_t ClauseExchange::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return dropped_;
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 PortfolioSolver::PortfolioSolver(const Formula& formula, SolverConfig config)
@@ -136,6 +161,7 @@ PortfolioSolver::PortfolioSolver(const PortfolioSolver& other)
       model_(other.model_),
       core_(other.core_),
       stats_(other.stats_),
+      agg_stats_(other.agg_stats_),
       last_winner_(other.last_winner_),
       last_faults_(other.last_faults_),
       last_trip_(other.last_trip_),
@@ -155,6 +181,10 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
                                    std::span<const Lit> assumptions) {
   const int n = std::max(1, config_.portfolio_threads);
   last_faults_ = 0;
+  // Every clone copies the master's CUMULATIVE counters at spawn, so a
+  // worker's own contribution this solve is its final stats minus this
+  // snapshot — summed below into the aggregated all-workers view.
+  const SolverStats before = master_->stats();
   if (n == 1) {
     // A fault spec aimed at a worker this 1-thread run never spawns must
     // not fire on the master (CdclSolver honours an armed spec regardless
@@ -165,6 +195,7 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
     }
     const SolveResult r = master_->solve(budget, assumptions);
     stats_ = master_->stats();
+    accumulate_stats(&agg_stats_, stats_delta(master_->stats(), before));
     if (r == SolveResult::Sat) model_ = master_->model();
     core_.assign(master_->last_core().begin(), master_->last_core().end());
     last_winner_ = r == SolveResult::Unknown ? -1 : 0;
@@ -175,7 +206,7 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
 
   const bool deterministic = config_.portfolio_deterministic;
   const FaultInjection fault = config_.fault_injection;
-  ClauseExchange exchange(config_.portfolio_buffer);
+  ClauseExchange exchange(config_.portfolio_buffer, n);
   std::atomic<bool> stop{false};
   std::atomic<int> first_definitive{-1};
 
@@ -255,6 +286,15 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
   // The exchange and stop flag die with this frame; the master persists.
   master_->set_sharing(nullptr, 0);
   master_->set_interrupt(nullptr);
+
+  // Aggregate every worker's contribution — winners, losers, and dead
+  // workers alike (a dead worker's counters are settled once its thread
+  // joined, and its partial search was real work).
+  for (int i = 0; i < n; ++i) {
+    accumulate_stats(
+        &agg_stats_,
+        stats_delta(workers[static_cast<std::size_t>(i)]->stats(), before));
+  }
 
   int fault_count = 0;
   for (const std::exception_ptr& f : faults) fault_count += f != nullptr;
@@ -340,6 +380,13 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
 
 std::unique_ptr<SolverEngine> make_solver_engine(const Formula& formula,
                                                  const SolverConfig& config) {
+  if (config.cube_depth > 0) {
+    // Cube-and-conquer splits the search space instead of racing full
+    // copies; it subsumes the thread knob (portfolio_threads workers
+    // consume the cube queue) and is worthwhile even single-threaded —
+    // sibling pruning and per-cube restarts change the search shape.
+    return std::make_unique<CubeAndConquerSolver>(formula, config);
+  }
   if (config.portfolio_threads <= 1) {
     return std::make_unique<CdclSolver>(formula, config);
   }

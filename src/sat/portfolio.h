@@ -54,6 +54,7 @@
 // There are no survivors to absorb a fault on that path, so a throwing
 // 1-thread solve propagates to the caller unchanged.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -79,15 +80,28 @@ namespace symcolor {
 [[nodiscard]] SolverConfig diversify_config(const SolverConfig& base,
                                             int index);
 
-/// Bounded, mutex-guarded constraint pool: append-only entries tagged
-/// with the exporting worker; per-worker cursors make import a scan of
-/// the tail published since the caller last drained. Clauses and learned
-/// PB rows (cutting-planes resolvents) travel in separate lanes, each
-/// bounded by `capacity`; exports past it are counted and dropped
-/// (bounding both memory and import work).
+/// Bounded, sharded constraint pool: each worker publishes into its OWN
+/// shard (one short lock nobody else writes under), so two exporters
+/// never contend with each other — only an importer scanning a shard
+/// contends with that shard's single producer. A global atomic sequence
+/// counter per lane stamps every accepted entry; importers snapshot the
+/// counter as a horizon and drain `[cursor, horizon)` from every foreign
+/// shard, which is race-free because an entry's sequence number is
+/// claimed inside its shard's critical section — once an importer holds a
+/// shard's lock, every entry of that shard below the snapshotted horizon
+/// is fully published. Per-worker cursors therefore keep their old
+/// meaning (entries drained so far) across the sharding. Clauses and
+/// learned PB rows travel in separate lanes, each bounded by `capacity`;
+/// exports past it are counted and dropped (bounding both memory and
+/// import work).
 class ClauseExchange final : public ClauseSharing {
  public:
-  explicit ClauseExchange(std::size_t capacity) : capacity_(capacity) {}
+  /// `num_workers` sizes the shard array; worker ids outside
+  /// [0, num_workers) share the last shard (correct, merely slower). The
+  /// default covers direct test construction with small worker ids.
+  explicit ClauseExchange(std::size_t capacity, int num_workers = 8)
+      : shards_(num_workers > 0 ? static_cast<std::size_t>(num_workers) : 1),
+        capacity_(capacity) {}
 
   bool export_clause(int worker, std::span<const Lit> lits,
                      int lbd) override;
@@ -105,17 +119,35 @@ class ClauseExchange final : public ClauseSharing {
  private:
   struct Entry {
     int worker;
+    std::size_t seq;
     SharedClause clause;
   };
   struct PbEntry {
     int worker;
+    std::size_t seq;
     SharedPb pb;
   };
-  mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
-  std::vector<PbEntry> pb_entries_;
+  /// One producer's lane pair. Entries are appended in increasing seq
+  /// order (claims happen under this mutex), so imports binary-search
+  /// their cursor.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Entry> entries;
+    std::vector<PbEntry> pb_entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(int worker) {
+    const auto i = worker >= 0 ? static_cast<std::size_t>(worker) : 0;
+    return shards_[std::min(i, shards_.size() - 1)];
+  }
+
+  std::vector<Shard> shards_;
   std::size_t capacity_;
-  std::size_t dropped_ = 0;
+  /// Sequence numbers claimed per lane (accepted = min(claimed, capacity);
+  /// claims at or past capacity are drops).
+  std::atomic<std::size_t> next_seq_{0};
+  std::atomic<std::size_t> next_pb_seq_{0};
+  std::atomic<std::size_t> dropped_{0};
 };
 
 /// SolverEngine implementation that races diversified clones of one
@@ -145,9 +177,18 @@ class PortfolioSolver final : public SolverEngine {
     return core_;
   }
   /// Stats of the most recent winning worker (the losers' partial work
-  /// is reported through last_exchange_* below, not folded in here).
+  /// is reported through aggregated_stats(), not folded in here).
   [[nodiscard]] const SolverStats& stats() const noexcept override {
     return stats_;
+  }
+  /// Field-wise sum of EVERY worker's counters — winners, losers, and
+  /// workers that died behind the exception barrier alike — cumulative
+  /// across solve() calls. This is the honest cost of a race: on a
+  /// 4-worker portfolio most conflicts belong to the losers, which
+  /// stats() (the winner's view) never shows.
+  [[nodiscard]] const SolverStats& aggregated_stats()
+      const noexcept override {
+    return agg_stats_;
   }
   [[nodiscard]] int num_vars() const noexcept override {
     return master_->num_vars();
@@ -199,6 +240,7 @@ class PortfolioSolver final : public SolverEngine {
   std::vector<LBool> model_;
   std::vector<Lit> core_;
   SolverStats stats_;
+  SolverStats agg_stats_;
   int last_winner_ = -1;
   int last_faults_ = 0;
   BudgetTrip last_trip_ = BudgetTrip::None;
@@ -207,9 +249,10 @@ class PortfolioSolver final : public SolverEngine {
   std::size_t last_dropped_ = 0;
 };
 
-/// Backend factory the whole pipeline funnels through: a plain CdclSolver
-/// when config.portfolio_threads <= 1 (zero parallel overhead on the
-/// 1-thread path), a PortfolioSolver otherwise.
+/// Backend factory the whole pipeline funnels through: a
+/// CubeAndConquerSolver (sat/cube_solver.h) when config.cube_depth > 0, a
+/// plain CdclSolver when config.portfolio_threads <= 1 (zero parallel
+/// overhead on the 1-thread path), a PortfolioSolver otherwise.
 [[nodiscard]] std::unique_ptr<SolverEngine> make_solver_engine(
     const Formula& formula, const SolverConfig& config);
 

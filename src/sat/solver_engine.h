@@ -112,6 +112,19 @@ struct SolverStats {
   /// weakening path (coefficient overflow, degenerate resolvent).
   std::int64_t pb_fallbacks = 0;
 
+  // ---- cube-and-conquer scheduling ----
+  /// Cubes the lookahead generator dealt to the conquer workers (children
+  /// re-dealt by work-stealing splits are counted under cube_splits).
+  std::int64_t cubes_dealt = 0;
+  /// Cubes refuted — solved Unsat by a worker or killed by a lookahead
+  /// probe during a split.
+  std::int64_t cubes_refuted = 0;
+  /// Queued sibling cubes pruned because a refuted cube's UNSAT core used
+  /// only a subset of the cube's literals (core-driven subsumption).
+  std::int64_t cube_siblings_pruned = 0;
+  /// Stuck cubes split and re-dealt after tripping their conflict slice.
+  std::int64_t cube_splits = 0;
+
   // ---- resource-control exits (which budget ended a solve early) ----
   /// Unknown exits because the wall-clock deadline ran out.
   std::int64_t deadline_exits = 0;
@@ -123,6 +136,69 @@ struct SolverStats {
   /// portfolio's cooperative stop flag).
   std::int64_t interrupt_exits = 0;
 };
+
+namespace detail {
+
+/// Apply `f(into_field, from_field)` to every counter pair of two
+/// SolverStats. The single enumeration point for field-wise arithmetic —
+/// add a counter to SolverStats and the compiler forces it through here.
+template <typename F>
+void for_each_stat(SolverStats& into, const SolverStats& from, F&& f) {
+  f(into.decisions, from.decisions);
+  f(into.propagations, from.propagations);
+  f(into.conflicts, from.conflicts);
+  f(into.restarts, from.restarts);
+  f(into.learned_clauses, from.learned_clauses);
+  f(into.learned_literals, from.learned_literals);
+  f(into.minimized_literals, from.minimized_literals);
+  f(into.deleted_clauses, from.deleted_clauses);
+  f(into.arena_collections, from.arena_collections);
+  f(into.pb_short_circuits, from.pb_short_circuits);
+  f(into.lbd_sum, from.lbd_sum);
+  f(into.tier_promotions, from.tier_promotions);
+  f(into.tier_demotions, from.tier_demotions);
+  f(into.tier_core, from.tier_core);
+  f(into.tier_mid, from.tier_mid);
+  f(into.tier_local, from.tier_local);
+  f(into.adaptive_restarts, from.adaptive_restarts);
+  f(into.blocked_restarts, from.blocked_restarts);
+  f(into.exported_clauses, from.exported_clauses);
+  f(into.imported_clauses, from.imported_clauses);
+  f(into.rejected_imports, from.rejected_imports);
+  f(into.exported_pbs, from.exported_pbs);
+  f(into.imported_pbs, from.imported_pbs);
+  f(into.learned_pbs, from.learned_pbs);
+  f(into.deleted_pbs, from.deleted_pbs);
+  f(into.pb_resolutions, from.pb_resolutions);
+  f(into.pb_fallbacks, from.pb_fallbacks);
+  f(into.cubes_dealt, from.cubes_dealt);
+  f(into.cubes_refuted, from.cubes_refuted);
+  f(into.cube_siblings_pruned, from.cube_siblings_pruned);
+  f(into.cube_splits, from.cube_splits);
+  f(into.deadline_exits, from.deadline_exits);
+  f(into.conflict_budget_exits, from.conflict_budget_exits);
+  f(into.prop_budget_exits, from.prop_budget_exits);
+  f(into.interrupt_exits, from.interrupt_exits);
+}
+
+}  // namespace detail
+
+/// Fold `delta` field-wise into `*into`. The parallel engines use this to
+/// sum every worker's counters into one aggregated view.
+inline void accumulate_stats(SolverStats* into, const SolverStats& delta) {
+  detail::for_each_stat(
+      *into, delta, [](std::int64_t& a, const std::int64_t b) { a += b; });
+}
+
+/// Field-wise `after - before`. Worker clones inherit the master's
+/// cumulative counters at clone time; the delta is the work the clone did
+/// on its own since.
+[[nodiscard]] inline SolverStats stats_delta(SolverStats after,
+                                             const SolverStats& before) {
+  detail::for_each_stat(
+      after, before, [](std::int64_t& a, const std::int64_t b) { a -= b; });
+  return after;
+}
 
 /// A clause in transit between portfolio workers, tagged with the glue the
 /// exporter measured at learn time so the importer can apply its own
@@ -215,6 +291,17 @@ class SolverEngine {
   [[nodiscard]] virtual std::span<const Lit> last_core() const noexcept = 0;
 
   [[nodiscard]] virtual const SolverStats& stats() const noexcept = 0;
+
+  /// Aggregated view across every worker the engine ran: the field-wise sum
+  /// of the master's and all clones' counters, cumulative across solve()
+  /// calls. For a sequential engine this IS stats(); the parallel engines
+  /// (portfolio, cube-and-conquer) override it so the losers' search — most
+  /// of the work in a race — stays measurable instead of being dropped with
+  /// the losing workers.
+  [[nodiscard]] virtual const SolverStats& aggregated_stats() const noexcept {
+    return stats();
+  }
+
   [[nodiscard]] virtual int num_vars() const noexcept = 0;
 
   /// Deep copy of the full solver state — constraints, learned clauses,

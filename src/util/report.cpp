@@ -14,6 +14,31 @@ std::string format_solver_line(const SolverStats& stats) {
   return buf;
 }
 
+std::string format_workers_line(const SolverStats& stats) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "workers: %lld conflicts, %lld decisions, %lld propagations, "
+                "%lld exported, %lld imported",
+                static_cast<long long>(stats.conflicts),
+                static_cast<long long>(stats.decisions),
+                static_cast<long long>(stats.propagations),
+                static_cast<long long>(stats.exported_clauses),
+                static_cast<long long>(stats.imported_clauses));
+  return buf;
+}
+
+std::string format_cubes_line(const SolverStats& stats) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "cubes: %lld dealt, %lld refuted, %lld siblings pruned, "
+                "%lld splits",
+                static_cast<long long>(stats.cubes_dealt),
+                static_cast<long long>(stats.cubes_refuted),
+                static_cast<long long>(stats.cube_siblings_pruned),
+                static_cast<long long>(stats.cube_splits));
+  return buf;
+}
+
 std::string format_budget_line(BudgetTrip tripped, const SolverStats& stats) {
   char buf[200];
   std::snprintf(buf, sizeof(buf),

@@ -25,6 +25,17 @@ inline constexpr int kExitUsage = 3;
 /// search-effort line both tools print under --stats.
 [[nodiscard]] std::string format_solver_line(const SolverStats& stats);
 
+/// "workers: N conflicts, N decisions, N propagations, N exported, N
+/// imported" — the aggregated all-workers view of a parallel solve
+/// (portfolio or cube-and-conquer): the sum over every worker, losers
+/// included, where the `solver:` line shows only the winner.
+[[nodiscard]] std::string format_workers_line(const SolverStats& stats);
+
+/// "cubes: N dealt, N refuted, N siblings pruned, N splits" — the
+/// cube-and-conquer schedule summary, printed only when the solve
+/// actually dealt cubes (cubes_dealt > 0).
+[[nodiscard]] std::string format_cubes_line(const SolverStats& stats);
+
 /// "budget: tripped=<name> exits deadline=N conflicts=N propagations=N
 /// interrupt=N" — the resource-control line, with the trip-counter names
 /// shared verbatim between the CLI and the server.

@@ -14,6 +14,9 @@
 //                   Applies to both the native PB and --satloop pipelines
 //   --threads <n>   racing portfolio workers per CDCL solve (default 1;
 //                   the answer is identical at any thread count)
+//   --cube-depth <n> cube-and-conquer: split the search space into
+//                   assumption cubes of up to depth n and deal them to
+//                   --threads workers (default 0 = race full copies)
 //   --decision      K-colorability query instead of minimization
 //   --simplify      pre-solve simplification (units, pures, subsumption)
 //   --satloop       pure-CNF SAT-loop pipeline instead of native PB
@@ -69,8 +72,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
                "[--solver s] [--search linear|binary|core]\n"
-               "                    [--threads n] [--decision] [--satloop] "
-               "[--opb file] [--stats]\n"
+               "                    [--threads n] [--cube-depth n] "
+               "[--decision] [--satloop] [--opb file] [--stats]\n"
                "                    (<graph.col> | --instance <name>)\n"
                "resource control (<= 0 = unlimited; Ctrl-C interrupts and "
                "reports best-so-far):\n"
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
   SolverKind solver = SolverKind::PbsII;
   SearchStrategy search = SearchStrategy::Linear;
   int threads = 1;
+  int cube_depth = 0;
   double timeout = 0.0;
   long long conflict_budget = 0;
   long long prop_budget = 0;
@@ -155,6 +159,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 1) { usage(); return kExitUsage; }
       threads = std::atoi(v);
+    } else if (arg == "--cube-depth") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 0) { usage(); return kExitUsage; }
+      cube_depth = std::atoi(v);
     } else if (arg == "--timeout") {
       const char* v = next();
       if (v == nullptr) { usage(); return kExitUsage; }
@@ -248,6 +256,7 @@ int main(int argc, char** argv) {
     options.sbps = sbps;
     options.search = search;
     options.solver.portfolio_threads = threads;
+    options.solver.cube_depth = cube_depth;
     options.budget = &run_budget;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
@@ -270,6 +279,7 @@ int main(int argc, char** argv) {
   options.solver = solver;
   options.search = search;
   options.threads = threads;
+  options.cube_depth = cube_depth;
   options.presimplify = presimplify;
   options.budget = &run_budget;
   const ColoringOutcome r =
@@ -287,6 +297,17 @@ int main(int argc, char** argv) {
     // Shared line formats (util/report.h) so tooling parses the CLI and
     // symcolor_serve identically.
     std::printf("%s\n", format_solver_line(r.solver_stats).c_str());
+    if (r.solver_stats_all.conflicts != r.solver_stats.conflicts ||
+        r.solver_stats_all.propagations != r.solver_stats.propagations) {
+      // Parallel run: the winner line above hides the losers' work, so
+      // surface the all-workers sum too.
+      std::printf("%s\n", format_workers_line(r.solver_stats_all).c_str());
+    }
+    if (r.solver_stats_all.cubes_dealt > 0) {
+      // Cube-and-conquer run: show the schedule (dealt/refuted/pruned/
+      // split counts summed over every decision query).
+      std::printf("%s\n", format_cubes_line(r.solver_stats_all).c_str());
+    }
     std::printf("%s\n",
                 format_budget_line(r.tripped, r.solver_stats).c_str());
   }

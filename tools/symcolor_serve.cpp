@@ -29,7 +29,9 @@
 // encoding; `"minimize":true` switches to the optimization encoding and
 // minimizes the color count), or raw `clauses` as DIMACS literal arrays
 // with `vars` — plus optional `timeout`/`conflicts`/`props` budgets,
-// `threads`, `search` ("linear"|"binary"|"core"), `cache` (warm-start
+// `threads`, `cube_depth` (> 0 solves via cube-and-conquer: the search
+// space is split into assumption cubes dealt to `threads` workers),
+// `search` ("linear"|"binary"|"core"), `cache` (warm-start
 // instance encodings via the service engine cache), and the fault hook
 // `fault_conflicts` (throw after N conflicts; the per-session barrier
 // turns it into outcome "failed").
@@ -275,6 +277,8 @@ void handle_solve(SolveService& service, const Json& msg,
   request.prop_budget = msg.get_int("props", 0);
   const int threads = static_cast<int>(msg.get_int("threads", 1));
   request.config.portfolio_threads = threads >= 1 && threads <= 64 ? threads : 1;
+  const int cube_depth = static_cast<int>(msg.get_int("cube_depth", 0));
+  request.config.cube_depth = cube_depth >= 1 && cube_depth <= 32 ? cube_depth : 0;
   const std::int64_t fault = msg.get_int("fault_conflicts", 0);
   if (fault > 0) {
     request.config.fault_injection.worker = -1;
