@@ -242,6 +242,66 @@ void BM_CdclReduceDbChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_CdclReduceDbChurn);
 
+// Propagation throughput under constant inprocessing churn: the interval
+// is cranked down so a full vivification + substitution round runs every
+// ~200 conflicts of the fixed 2000-conflict prefix, measuring what the
+// restart-boundary inprocessor (detach/re-propagate/reattach cycles plus
+// the occasional watch rebuild) taxes the hot path when driven far above
+// its production cadence.
+void BM_CdclVivificationChurn(benchmark::State& state) {
+  const Graph g = make_queen_graph(7, 7);
+  const ColoringEncoding enc = encode_k_coloring(g, 8, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.conflict_budget = 2000;
+  config.inprocess = InprocessMode::Full;
+  config.inprocess_interval_base = 200;
+  config.inprocess_interval_inc = 0;
+  std::int64_t propagations = 0;
+  std::int64_t rounds = 0;
+  std::int64_t vivified = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve());
+    propagations += solver.stats().propagations;
+    rounds += solver.stats().inprocess_rounds;
+    vivified += solver.stats().vivified_clauses +
+                solver.stats().viv_removed_clauses;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+  state.counters["inprocess_rounds_per_iter"] =
+      static_cast<double>(rounds) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+  state.counters["vivified_per_iter"] =
+      static_cast<double>(vivified) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CdclVivificationChurn);
+
+// Inprocessing-on twin of BM_CdclPropagationThroughput: the same fixed
+// 2000-conflict prefix with Full-mode rounds forced every ~200 conflicts.
+// Gated against the plain row in CI — the shrunk clause database must pay
+// for the rounds, keeping the two rates within the regression band.
+void BM_CdclInprocessPropagationThroughput(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const Graph g = make_queen_graph(q, q);
+  const ColoringEncoding enc = encode_k_coloring(g, q + 1, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.conflict_budget = 2000;
+  config.inprocess = InprocessMode::Full;
+  config.inprocess_interval_base = 200;
+  config.inprocess_interval_inc = 0;
+  std::int64_t propagations = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve());
+    propagations += solver.stats().propagations;
+  }
+  state.counters["propagations_per_sec"] = benchmark::Counter(
+      static_cast<double>(propagations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CdclInprocessPropagationThroughput)->Arg(6)->Arg(7);
+
 // Raw flat-pool cost: interleaved pushes across many rows (the watch-list
 // write pattern during clause attachment) followed by a compaction, per
 // iteration. Tracks the amortized-doubling growth path in isolation.

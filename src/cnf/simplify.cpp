@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
+
+#include "sat/inprocess.h"
 
 namespace symcolor {
 namespace {
@@ -71,7 +74,11 @@ class Simplifier {
     }
   }
 
-  /// One sweep of root-level propagation; true if anything changed.
+  /// One sweep of root-level propagation; true if anything changed. The
+  /// per-constraint reduction logic is the restart-boundary inprocessor's
+  /// (sat/inprocess.h reduce_clause_at_root / reduce_pb_at_root) — this
+  /// preprocessor is a thin wrapper that routes the shared verdicts into
+  /// its own bookkeeping.
   bool propagate_round() {
     bool changed = false;
     // Clauses: drop satisfied, strip false literals, detect units.
@@ -79,34 +86,39 @@ class Simplifier {
     kept.reserve(clauses_.size());
     for (Clause& c : clauses_) {
       Clause reduced;
-      bool satisfied = false;
-      for (const Lit l : c) {
-        const LBool v = value(l);
-        if (v == LBool::True) {
-          satisfied = true;
-          break;
-        }
-        if (v == LBool::Undef) reduced.push_back(l);
+      switch (reduce_clause_at_root(c, values_, &reduced)) {
+        case RootClauseStatus::Satisfied:
+          ++stats_.removed_clauses;
+          changed = true;
+          continue;
+        case RootClauseStatus::Empty:
+          stats_.unsatisfiable = true;
+          return true;
+        case RootClauseStatus::Unit:
+          ++stats_.shortened_clauses;
+          fix(reduced[0], /*pure=*/false);
+          changed = true;
+          continue;
+        case RootClauseStatus::Shortened:
+          ++stats_.shortened_clauses;
+          changed = true;
+          kept.push_back(std::move(reduced));
+          continue;
+        case RootClauseStatus::Unchanged:
+          // Unchanged covers the no-assigned-literal degenerate shapes
+          // too: an original empty clause and an original unit.
+          if (c.empty()) {
+            stats_.unsatisfiable = true;
+            return true;
+          }
+          if (c.size() == 1) {
+            fix(c[0], /*pure=*/false);
+            changed = true;
+            continue;
+          }
+          kept.push_back(std::move(c));
+          continue;
       }
-      if (satisfied) {
-        ++stats_.removed_clauses;
-        changed = true;
-        continue;
-      }
-      if (reduced.size() < c.size()) {
-        ++stats_.shortened_clauses;
-        changed = true;
-      }
-      if (reduced.empty()) {
-        stats_.unsatisfiable = true;
-        return true;
-      }
-      if (reduced.size() == 1) {
-        fix(reduced[0], /*pure=*/false);
-        changed = true;
-        continue;
-      }
-      kept.push_back(std::move(reduced));
     }
     clauses_ = std::move(kept);
     if (stats_.unsatisfiable) return true;
@@ -115,58 +127,38 @@ class Simplifier {
     std::vector<PbConstraint> kept_pb;
     kept_pb.reserve(pbs_.size());
     for (const PbConstraint& pb : pbs_) {
-      std::vector<PbTerm> open;
-      std::int64_t bound = pb.bound();
-      bool touched = false;
-      for (const PbTerm& t : pb.terms()) {
-        const LBool v = value(t.lit);
-        if (v == LBool::True) {
-          bound -= t.coeff;
-          touched = true;
-        } else if (v == LBool::False) {
-          touched = true;
-        } else {
-          open.push_back(t);
+      const bool touched =
+          std::any_of(pb.terms().begin(), pb.terms().end(),
+                      [&](const PbTerm& t) {
+                        return value(t.lit) != LBool::Undef;
+                      });
+      RootPbReduction r = reduce_pb_at_root(pb.terms(), pb.bound(), values_);
+      switch (r.status) {
+        case RootPbStatus::Satisfied:
+          ++stats_.removed_pb;
+          changed |= touched;
+          continue;
+        case RootPbStatus::Contradiction:
+          stats_.unsatisfiable = true;
+          return true;
+        case RootPbStatus::Clause: {
+          Clause c;
+          for (const PbTerm& t : r.constraint.terms()) c.push_back(t.lit);
+          clauses_.push_back(std::move(c));
+          ++stats_.removed_pb;
+          changed = true;
+          continue;
         }
+        case RootPbStatus::Open:
+          if (!r.forced.empty()) {
+            for (const Lit l : r.forced) fix(l, /*pure=*/false);
+            changed = true;  // re-reduced next round
+          } else {
+            changed |= touched;
+          }
+          kept_pb.push_back(std::move(r.constraint));
+          continue;
       }
-      if (!touched) {
-        // Still check for forcing below via the rebuilt constraint.
-        open.assign(pb.terms().begin(), pb.terms().end());
-      }
-      PbConstraint reduced = PbConstraint::at_least(std::move(open), bound);
-      if (reduced.is_tautology()) {
-        ++stats_.removed_pb;
-        changed |= touched;
-        continue;
-      }
-      if (reduced.is_contradiction()) {
-        stats_.unsatisfiable = true;
-        return true;
-      }
-      // Forced terms: coefficient exceeds slack.
-      const std::int64_t slack = reduced.coeff_sum() - reduced.bound();
-      bool forced_any = false;
-      for (const PbTerm& t : reduced.terms()) {
-        if (t.coeff > slack) {
-          fix(t.lit, /*pure=*/false);
-          forced_any = true;
-        }
-      }
-      if (forced_any) {
-        changed = true;
-        kept_pb.push_back(std::move(reduced));  // re-reduced next round
-        continue;
-      }
-      if (reduced.is_clause()) {
-        Clause c;
-        for (const PbTerm& t : reduced.terms()) c.push_back(t.lit);
-        clauses_.push_back(std::move(c));
-        ++stats_.removed_pb;
-        changed = true;
-        continue;
-      }
-      changed |= touched;
-      kept_pb.push_back(std::move(reduced));
     }
     pbs_ = std::move(kept_pb);
     return changed;

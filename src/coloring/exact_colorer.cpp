@@ -54,6 +54,7 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
     SolverConfig config = profile_config(options.solver);
     config.portfolio_threads = options.threads;
     config.cube_depth = options.cube_depth;
+    config.inprocess = options.inprocess;
     result = optimization
                  ? minimize(enc.formula, config, budget, options.search)
                  : solve_decision(enc.formula, config, budget);

@@ -49,6 +49,11 @@ struct ColoringOptions {
   /// the search space is split into assumption cubes of up to this depth
   /// and dealt to `threads` workers. Answers stay exact; 0 = off.
   int cube_depth = 0;
+  /// Restart-boundary inprocessing of every CDCL engine in the run
+  /// (sat/inprocess.h): Off, Viv (budgeted clause vivification, the
+  /// default) or Full (vivification + equivalent-literal substitution).
+  /// Answers are identical in every mode. Ignored by GenericIlp.
+  InprocessMode inprocess = InprocessMode::Viv;
   /// Whole-pipeline conflict / propagation budgets across all CDCL probes
   /// (<= 0 = unlimited; ignored by SolverKind::GenericIlp, whose search
   /// has no comparable counters).

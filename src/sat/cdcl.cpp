@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sat/inprocess.h"
 #include "sat/luby.h"
 
 namespace symcolor {
@@ -33,6 +34,11 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
   vardata_.assign(n, {});
   order_.assign_scores(n, 0.0);
   polarity_.assign(n, config_.default_phase ? 1 : 0);
+  subst_.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    subst_.push_back(Lit::positive(static_cast<Var>(v)));
+  }
+  eliminated_.assign(n, 0);
   seen_.assign(n, 0);
   cp_coef_.assign(n, 0);
   cp_lit_.assign(n, kUndefLit);
@@ -69,6 +75,7 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
           ? config_.max_learnts_init
           : std::max(800.0, static_cast<double>(arena_.live_clauses()) / 8.0);
   next_reduce_conflicts_ = config_.reduce_interval_base;
+  next_inprocess_conflicts_ = config_.inprocess_interval_base;
 }
 
 void CdclSolver::reconfigure(const SolverConfig& config) {
@@ -85,6 +92,8 @@ void CdclSolver::reconfigure(const SolverConfig& config) {
   // clean baseline instead of inheriting the previous policy's averages.
   next_reduce_conflicts_ = stats_.conflicts + config.reduce_interval_base;
   reduce_rounds_ = 0;
+  next_inprocess_conflicts_ = stats_.conflicts + config.inprocess_interval_base;
+  inprocess_rounds_done_ = 0;
   lbd_ema_fast_ = lbd_ema_slow_ = 0.0;
   lbd_ema_seeded_ = false;
   trail_ema_ = 0.0;
@@ -94,6 +103,13 @@ void CdclSolver::reconfigure(const SolverConfig& config) {
 bool CdclSolver::add_clause(Clause clause) {
   assert(decision_level() == 0);
   if (!ok_) return false;
+  // Clauses arriving after a Full inprocessing round may name variables a
+  // substitution eliminated; rewrite them into the representative alphabet
+  // first (the sort/unique/adjacent-var pass below then absorbs duplicate
+  // and tautological pairs a merge creates).
+  if (!reconstruction_.empty()) {
+    for (Lit& l : clause) l = map_lit(l);
+  }
   // Simplify against the level-0 assignment.
   Clause simplified;
   std::sort(clause.begin(), clause.end());
@@ -120,6 +136,24 @@ bool CdclSolver::add_clause(Clause clause) {
 bool CdclSolver::add_pb(PbConstraint constraint) {
   assert(decision_level() == 0);
   if (!ok_) return false;
+  // Same late-arrival boundary as add_clause: rewrite the row into the
+  // representative alphabet. Re-normalizing merges terms that now share a
+  // variable (same or opposite polarity) exactly as construction would.
+  if (!reconstruction_.empty()) {
+    bool mapped = false;
+    for (const PbTerm& t : constraint.terms()) {
+      if (map_lit(t.lit) != t.lit) {
+        mapped = true;
+        break;
+      }
+    }
+    if (mapped) {
+      std::vector<PbTerm> terms(constraint.terms().begin(),
+                                constraint.terms().end());
+      for (PbTerm& t : terms) t.lit = map_lit(t.lit);
+      constraint = PbConstraint::at_least(std::move(terms), constraint.bound());
+    }
+  }
   if (constraint.is_tautology()) return true;
   if (constraint.is_contradiction()) {
     ok_ = false;
@@ -1049,14 +1083,19 @@ Lit CdclSolver::pick_branch() {
     for (int tries = 0; tries < 16; ++tries) {
       const Var v =
           static_cast<Var>(rng_.below(static_cast<std::uint64_t>(n)));
-      if (value(v) == LBool::Undef) {
+      if (value(v) == LBool::Undef &&
+          eliminated_[static_cast<std::size_t>(v)] == 0) {
         return Lit(v, polarity_[static_cast<std::size_t>(v)] == 0);
       }
     }
   }
+  // Substituted-away variables stay in the heap (it has no remove
+  // operation) and are skipped here: they occur in no live constraint, so
+  // branching on them would spend decisions deciding nothing.
   while (!order_.empty()) {
     const Var v = order_.pop_max();
-    if (value(v) == LBool::Undef) {
+    if (value(v) == LBool::Undef &&
+        eliminated_[static_cast<std::size_t>(v)] == 0) {
       const bool phase_true = config_.phase_saving
                                   ? polarity_[static_cast<std::size_t>(v)] != 0
                                   : config_.default_phase;
@@ -1255,6 +1294,13 @@ bool CdclSolver::drain_imports() {
     }
     PbConstraint imported;
     try {
+      // Remap into the representative alphabet BEFORE normalization so the
+      // re-normalization below (and not an uncaught throw inside add_pb's
+      // own remap) is the only overflow surface; terms whose variables
+      // merged since the exporter published collapse here.
+      if (!reconstruction_.empty()) {
+        for (PbTerm& t : sp.terms) t.lit = map_lit(t.lit);
+      }
       imported = PbConstraint::at_least(std::move(sp.terms), sp.degree);
     } catch (const std::overflow_error&) {
       // The exporter's arithmetic was overflow-checked, but re-normalizing
@@ -1421,6 +1467,16 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
   for (const Lit a : assumptions) {
     if (!a.valid() || a.var() >= num_vars()) return SolveResult::Unsat;
   }
+  // Internal view of the caller's assumptions: once a Full inprocessing
+  // round has merged variables, assumption literals must be taken in the
+  // representative alphabet. Refreshed from the ORIGINALS (idempotent)
+  // after any mid-solve round extends the substitution.
+  std::span<const Lit> asms = assumptions;
+  if (!reconstruction_.empty()) {
+    mapped_assumptions_.assign(assumptions.begin(), assumptions.end());
+    for (Lit& a : mapped_assumptions_) a = map_lit(a);
+    asms = mapped_assumptions_;
+  }
   // Already-satisfied assumptions open dummy decision levels that assign
   // no variable, so the deepest level can exceed num_vars() by up to
   // |assumptions|; the LBD stamp array must cover that range.
@@ -1455,6 +1511,28 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
     if (hooks_.sharing != nullptr && !drain_imports()) {
       ok_ = false;
       return SolveResult::Unsat;
+    }
+    // Restart-boundary inprocessing (sat/inprocess.h): on the conflict
+    // schedule, run a budgeted simplification round — we are at level 0,
+    // the one point where deleting and rewriting constraints is sound.
+    // The round runs under a child slice of the caller's budget, so its
+    // propagation work both honors the caller's deadline and (being
+    // counted in stats_.propagations) burns down the caller's prop cap.
+    if (config_.inprocess != InprocessMode::Off &&
+        stats_.conflicts >= next_inprocess_conflicts_) {
+      const SolveBudget slice =
+          budget.child(0.0, 0, config_.inprocess_prop_budget);
+      Inprocessor(*this).run(slice);
+      ++inprocess_rounds_done_;
+      next_inprocess_conflicts_ =
+          stats_.conflicts + config_.inprocess_interval_base +
+          config_.inprocess_interval_inc * inprocess_rounds_done_;
+      if (!ok_) return SolveResult::Unsat;
+      if (!reconstruction_.empty()) {
+        mapped_assumptions_.assign(assumptions.begin(), assumptions.end());
+        for (Lit& a : mapped_assumptions_) a = map_lit(a);
+        asms = mapped_assumptions_;
+      }
     }
     // Scheduled restart interval; the adaptive scheme restarts on the
     // LBD-EMA condition instead and ignores the schedule.
@@ -1681,8 +1759,8 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
 
       // Take pending assumptions as pseudo-decisions first.
       Lit next = kUndefLit;
-      while (decision_level() < static_cast<int>(assumptions.size())) {
-        const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+      while (decision_level() < static_cast<int>(asms.size())) {
+        const Lit a = asms[static_cast<std::size_t>(decision_level())];
         if (value(a) == LBool::True) {
           new_decision_level();  // already satisfied: dummy level
         } else if (value(a) == LBool::False) {
@@ -1690,6 +1768,21 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
           // implies ~a. Extract the failed-assumption core while the
           // implication graph is still standing, then unwind.
           analyze_final(a);
+          if (!reconstruction_.empty()) {
+            // The walk produced internal (substituted) literals; the core
+            // contract promises a subset of the CALLER's assumptions.
+            // Keep exactly the originals whose image lies in the internal
+            // core — a superset of a minimal core, still jointly unsat.
+            std::vector<Lit> internal(core_.begin(), core_.end());
+            std::sort(internal.begin(), internal.end());
+            core_.clear();
+            for (const Lit orig : assumptions) {
+              if (std::binary_search(internal.begin(), internal.end(),
+                                     map_lit(orig))) {
+                core_.push_back(orig);
+              }
+            }
+          }
           backtrack(0);
           return SolveResult::Unsat;
         } else {
@@ -1700,8 +1793,11 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
       if (!next.valid()) {
         next = pick_branch();
         if (!next.valid()) {
-          // Complete assignment: SAT.
+          // Complete assignment: SAT. Substituted-away variables are not
+          // assigned by search; extend_model() derives their values from
+          // their representatives.
           model_.assign(assigns_.begin(), assigns_.end());
+          if (!reconstruction_.empty()) extend_model();
           backtrack(0);
           return SolveResult::Sat;
         }
@@ -1727,10 +1823,18 @@ CdclSolver::ProbeResult CdclSolver::probe_assumptions(
     return result;
   }
   const int root = static_cast<int>(trail_.size());
-  result.free_vars = num_vars() - root;
-  for (const Lit a : assumptions) {
-    if (!a.valid() || a.var() >= num_vars() ||
-        value(a) == LBool::False) {
+  // Free variables the search could actually branch on: substituted-away
+  // variables are neither assigned nor branchable, so they leave the
+  // denominator of the forced-fraction easiness estimate.
+  result.free_vars =
+      num_vars() - root - static_cast<int>(reconstruction_.size());
+  for (const Lit raw : assumptions) {
+    if (!raw.valid() || raw.var() >= num_vars()) {
+      result.refuted = true;
+      break;
+    }
+    const Lit a = map_lit(raw);
+    if (value(a) == LBool::False) {
       result.refuted = true;
       break;
     }
@@ -1754,7 +1858,10 @@ std::vector<Var> CdclSolver::top_branch_candidates(int k) const {
   if (k <= 0) return pool;
   pool.reserve(static_cast<std::size_t>(num_vars()));
   for (Var v = 0; v < num_vars(); ++v) {
-    if (value(v) == LBool::Undef) pool.push_back(v);
+    if (value(v) == LBool::Undef &&
+        eliminated_[static_cast<std::size_t>(v)] == 0) {
+      pool.push_back(v);
+    }
   }
   const std::vector<double>& activity = order_.scores();
   const auto occurrences = [this](Var v) {

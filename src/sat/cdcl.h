@@ -143,6 +143,17 @@ enum class PbAnalysis { Weaken, CuttingPlanes };
 /// diversification axis.
 enum class ReduceScheme { DbSize, ConflictInterval };
 
+/// Inprocessing at restart boundaries (sat/inprocess.h):
+///   * Off  — the formula never changes after preprocessing.
+///   * Viv  — clause vivification only: re-propagate clauses to drop
+///     falsified literals and delete satisfied/subsumed rows. Always
+///     sound, touches no variable identities. The default.
+///   * Full — vivification plus equivalent-literal substitution: Tarjan
+///     SCC over the binary implication graph collapses x <-> y cycles
+///     into one representative per class; eliminated variables are
+///     reconstructed into the model via the reconstruction stack.
+enum class InprocessMode { Off, Viv, Full };
+
 /// Deterministic fault injection for the portfolio's exception-barrier
 /// tests (production configs leave this disarmed). The portfolio arms the
 /// spec only on the worker it targets; a direct CdclSolver::solve honours
@@ -234,6 +245,21 @@ struct SolverConfig {
   /// ...and each later one after base + inc * completed_reductions more
   /// (linear back-off, CaDiCaL/Glucose style).
   std::int64_t reduce_interval_inc = 300;
+
+  // ---- inprocessing (restart-boundary simplification) ----
+  /// What the restart-boundary inprocessor does (see InprocessMode).
+  InprocessMode inprocess = InprocessMode::Viv;
+  /// Conflicts before the first inprocessing round...
+  std::int64_t inprocess_interval_base = 4000;
+  /// ...and each later round after base + inc * completed_rounds more
+  /// conflicts (linear back-off, like the reduce schedule).
+  std::int64_t inprocess_interval_inc = 4000;
+  /// Clauses vivified per round (churn cap — a round touches a rotating
+  /// window of the DB, not all of it).
+  std::int64_t inprocess_viv_cap = 500;
+  /// Propagations one round may spend before it stops early (folded into
+  /// the SolveBudget child slice the round runs under).
+  std::int64_t inprocess_prop_budget = 200000;
 
   // ---- PB conflict analysis ----
   /// Analysis mode for PB conflicts (see PbAnalysis). Weaken is the
@@ -409,6 +435,30 @@ class CdclSolver final : public SolverEngine {
   /// otherwise).
   void reconfigure(const SolverConfig& config) override;
 
+  // ---- inprocessing (sat/inprocess.h runs the passes) ----
+  /// Run one inprocessing round now (per config_.inprocess; no-op when
+  /// Off), regardless of the conflict cadence. Must be called at a
+  /// quiescent point. Returns literals dropped + clauses removed + vars
+  /// replaced. The solve loop calls the same machinery on its own
+  /// conflict schedule at restart boundaries.
+  std::int64_t inprocess(const SolveBudget& budget = {}) override;
+  /// Resolve `l` through the equivalent-literal substitution map to its
+  /// current representative (identity until a Full round merged its
+  /// class). Callers passing literals across the solver boundary after a
+  /// substitution — assumptions, imports, incremental additions — go
+  /// through here.
+  [[nodiscard]] Lit map_lit(Lit l) const noexcept {
+    for (;;) {
+      const Lit r = subst_[static_cast<std::size_t>(l.var())];
+      if (r.var() == l.var()) return l;
+      l = l.negated() ? ~r : r;
+    }
+  }
+  /// Variables eliminated by equivalent-literal substitution so far.
+  [[nodiscard]] std::int64_t replaced_vars() const noexcept {
+    return static_cast<std::int64_t>(reconstruction_.size());
+  }
+
   // ---- cube-generation probes (driven by sat/cubes.h) ----
   /// Outcome of one propagation-count lookahead probe.
   struct ProbeResult {
@@ -475,6 +525,12 @@ class CdclSolver final : public SolverEngine {
   [[nodiscard]] TierCounts learned_tier_counts() const;
 
  private:
+  /// The inprocessor (sat/inprocess.cpp) is the solver's simplification
+  /// arm: it rewrites the clause arena, watcher pools, PB rows and
+  /// substitution state in place, so it works on the private storage
+  /// directly rather than through a widened public surface.
+  friend class Inprocessor;
+
   // ---- constraint storage ----
   /// Long-clause watcher. Binary clauses never appear here: they live in
   /// the dedicated bin_watches_ pool, where the blocker IS the other
@@ -820,6 +876,38 @@ class CdclSolver final : public SolverEngine {
   PortfolioHooks hooks_;
   std::vector<SharedClause> import_buf_;  // drain_imports scratch
   std::vector<SharedPb> pb_import_buf_;   // drain_imports scratch (PB rows)
+
+  // ---- equivalent-literal substitution (inprocess Full) ----
+  /// Per-variable representative literal; identity (positive own literal)
+  /// until a Full inprocessing round merges the variable's equivalence
+  /// class. Chains are variable-decreasing (the representative is the
+  /// smallest variable of its SCC), so map_lit() terminates.
+  std::vector<Lit> subst_;
+  /// 1 = variable substituted away: never branched on, absent from every
+  /// live constraint. (ActivityHeap has no remove op; pick_branch skips.)
+  std::vector<char> eliminated_;
+  /// Model-reconstruction stack: (var, representative literal at merge
+  /// time), in elimination order. extend_model() replays it backwards to
+  /// give eliminated variables their forced values in model_.
+  struct SubstRecord {
+    Var var;
+    Lit repr;
+  };
+  std::vector<SubstRecord> reconstruction_;
+  /// Conflict count that triggers the next inprocessing round, plus the
+  /// completed-rounds counter driving the linear back-off.
+  std::int64_t next_inprocess_conflicts_ = 0;
+  std::int64_t inprocess_rounds_done_ = 0;
+  /// Rotating vivification start position (ordinal among candidate
+  /// clauses — survives GC, unlike a ClauseRef).
+  std::uint64_t viv_cursor_ = 0;
+  /// Caller-facing assumptions of the in-flight solve(), remapped through
+  /// subst_ for internal use (member so mid-solve Full rounds can re-remap
+  /// in place).
+  std::vector<Lit> mapped_assumptions_;
+  /// Fill in model_ values for substituted-away variables by replaying
+  /// reconstruction_ backwards. Called on every Sat exit.
+  void extend_model();
 
   std::vector<LBool> model_;
   std::vector<Lit> core_;  // failed-assumption core of the last Unsat

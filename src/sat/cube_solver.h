@@ -107,6 +107,12 @@ class CubeAndConquerSolver final : public SolverEngine {
     config_ = config;
     master_->reconfigure(config);
   }
+  /// Inprocess the master; cube generation and every conquer-phase clone
+  /// then work on the shrunk formula (cube assumption literals are
+  /// remapped inside the workers via the cloned substitution state).
+  std::int64_t inprocess(const SolveBudget& budget = {}) override {
+    return master_->inprocess(budget);
+  }
 
   // ---- schedule introspection (tests / benchmarks / --stats) ----
   /// Cubes the generator emitted for the last solve (0 when the warmup

@@ -1,0 +1,656 @@
+#include "sat/inprocess.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace symcolor {
+
+// ---- shared root-reduction core ----
+
+RootClauseStatus reduce_clause_at_root(std::span<const Lit> lits,
+                                       std::span<const LBool> values,
+                                       Clause* reduced) {
+  bool touched = false;
+  for (const Lit l : lits) {
+    if (lit_value(values[static_cast<std::size_t>(l.var())], l.negated()) !=
+        LBool::Undef) {
+      touched = true;
+      break;
+    }
+  }
+  if (!touched) return RootClauseStatus::Unchanged;
+  reduced->clear();
+  for (const Lit l : lits) {
+    const LBool v =
+        lit_value(values[static_cast<std::size_t>(l.var())], l.negated());
+    if (v == LBool::True) return RootClauseStatus::Satisfied;
+    if (v == LBool::Undef) reduced->push_back(l);
+  }
+  if (reduced->empty()) return RootClauseStatus::Empty;
+  if (reduced->size() == 1) return RootClauseStatus::Unit;
+  return RootClauseStatus::Shortened;
+}
+
+RootPbReduction reduce_pb_at_root(std::span<const PbTerm> terms,
+                                  std::int64_t bound,
+                                  std::span<const LBool> values) {
+  RootPbReduction out;
+  std::vector<PbTerm> open;
+  open.reserve(terms.size());
+  for (const PbTerm& t : terms) {
+    const LBool v = lit_value(values[static_cast<std::size_t>(t.lit.var())],
+                              t.lit.negated());
+    if (v == LBool::True) {
+      if (__builtin_sub_overflow(bound, t.coeff, &bound)) {
+        throw std::overflow_error("pb root fold: bound underflow");
+      }
+    } else if (v == LBool::Undef) {
+      open.push_back(t);
+    }
+    // False terms contribute nothing: drop.
+  }
+  PbConstraint folded = PbConstraint::at_least(std::move(open), bound);
+  if (folded.is_tautology()) {
+    out.status = RootPbStatus::Satisfied;
+    return out;
+  }
+  if (folded.is_contradiction()) {
+    out.status = RootPbStatus::Contradiction;
+    return out;
+  }
+  if (folded.is_clause()) {
+    out.status = RootPbStatus::Clause;
+    out.constraint = std::move(folded);
+    return out;
+  }
+  out.status = RootPbStatus::Open;
+  // Every remaining literal is unassigned, so the row's slack is simply
+  // coeff_sum - bound; any coefficient above it forces its literal.
+  const std::int64_t slack = folded.coeff_sum() - folded.bound();
+  for (const PbTerm& t : folded.terms()) {
+    if (t.coeff <= slack) break;  // terms sorted by descending coefficient
+    out.forced.push_back(t.lit);
+  }
+  out.constraint = std::move(folded);
+  return out;
+}
+
+// ---- CdclSolver entry points (declared in sat/cdcl.h) ----
+
+std::int64_t CdclSolver::inprocess(const SolveBudget& budget) {
+  if (config_.inprocess == InprocessMode::Off || !ok_) return 0;
+  backtrack(0);
+  Inprocessor ip(*this);
+  return ip.run(budget);
+}
+
+void CdclSolver::extend_model() {
+  // Reverse replay: a representative merged away by a later round is
+  // resolved before any variable that was merged onto it, so every read
+  // of model_[repr.var()] sees a settled value.
+  for (auto it = reconstruction_.rbegin(); it != reconstruction_.rend();
+       ++it) {
+    model_[static_cast<std::size_t>(it->var)] = lit_value(
+        model_[static_cast<std::size_t>(it->repr.var())], it->repr.negated());
+  }
+}
+
+// ---- Inprocessor ----
+
+std::int64_t Inprocessor::run(const SolveBudget& budget) {
+  assert(s_.decision_level() == 0);
+  if (!s_.ok_) return 0;
+  if (budget.poll() != BudgetTrip::None) return 0;
+  // Reach the root propagation fixpoint before touching any storage.
+  if (s_.propagate().valid()) {
+    s_.ok_ = false;
+    return 0;
+  }
+  clear_root_reasons();
+  std::int64_t changes = vivify(budget);
+  if (s_.ok_ && s_.config_.inprocess == InprocessMode::Full) {
+    changes += substitute();
+  }
+  if (deleted_ && s_.ok_) {
+    // Root units enqueued during the round carry fresh clause/PB reasons;
+    // strip them again so the collection below never forwards a ref into
+    // a record this round deleted.
+    clear_root_reasons();
+    s_.garbage_collect();
+  }
+  ++s_.stats_.inprocess_rounds;
+  return changes;
+}
+
+void Inprocessor::clear_root_reasons() {
+  for (const Lit l : s_.trail_) {
+    s_.vardata_[static_cast<std::size_t>(l.var())].reason = {
+        CdclSolver::ReasonKind::None, kInvalidClauseRef};
+  }
+}
+
+void Inprocessor::detach(ClauseRef cref) {
+  const std::uint32_t* codes = s_.arena_.lit_codes(cref);
+  FlatOccPool<CdclSolver::Watcher>& pool =
+      s_.arena_.size(cref) == 2 ? s_.bin_watches_ : s_.watches_;
+  for (int w = 0; w < 2; ++w) {
+    const auto row = static_cast<std::size_t>(codes[w]);
+    CdclSolver::Watcher* data = pool.data(row);
+    const std::uint32_t n = pool.size(row);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (data[i].cref == cref) {
+        data[i] = data[n - 1];
+        pool.truncate(row, n - 1);
+        break;
+      }
+    }
+  }
+}
+
+void Inprocessor::attach(ClauseRef cref) {
+  const std::uint32_t* codes = s_.arena_.lit_codes(cref);
+  const Lit l0 = Lit::from_code(static_cast<int>(codes[0]));
+  const Lit l1 = Lit::from_code(static_cast<int>(codes[1]));
+  FlatOccPool<CdclSolver::Watcher>& pool =
+      s_.arena_.size(cref) == 2 ? s_.bin_watches_ : s_.watches_;
+  pool.push(static_cast<std::size_t>(l0.code()), {cref, l1});
+  pool.push(static_cast<std::size_t>(l1.code()), {cref, l0});
+}
+
+void Inprocessor::enqueue_root(Lit l) {
+  if (!s_.ok_) return;
+  const LBool v = s_.value(l);
+  if (v == LBool::True) return;
+  if (v == LBool::False) {
+    s_.ok_ = false;
+    return;
+  }
+  s_.enqueue(l, {CdclSolver::ReasonKind::None, kInvalidClauseRef});
+}
+
+// ---- pass 1: vivification ----
+
+std::int64_t Inprocessor::vivify(const SolveBudget& budget) {
+  // Candidate census: problem clauses plus learnts the tier policy would
+  // keep anyway (core/mid by current LBD). Vivifying local-tier learnts
+  // is wasted propagation — reduce_db is about to delete half of them.
+  std::vector<ClauseRef> cands;
+  for (ClauseRef cr = 0; cr != s_.arena_.end_ref(); cr = s_.arena_.next(cr)) {
+    if (s_.arena_.deleted(cr)) continue;
+    if (s_.arena_.learnt(cr) &&
+        s_.arena_.lbd(cr) > s_.config_.tier_mid_lbd) {
+      continue;
+    }
+    cands.push_back(cr);
+  }
+  if (cands.empty()) return 0;
+
+  const std::int64_t start_props = s_.stats_.propagations;
+  const std::int64_t prop_cap = s_.config_.inprocess_prop_budget;
+  const std::int64_t budget_props = budget.prop_budget();
+
+  // Rotate through the candidate list across rounds: the cursor is an
+  // ordinal (stable under GC renumbering), so successive rounds cover
+  // successive windows of the DB instead of re-polishing the same prefix.
+  const auto count = static_cast<std::uint64_t>(cands.size());
+  const std::uint64_t start = s_.viv_cursor_ % count;
+  const std::uint64_t cap =
+      s_.config_.inprocess_viv_cap > 0
+          ? std::min<std::uint64_t>(
+                count, static_cast<std::uint64_t>(s_.config_.inprocess_viv_cap))
+          : count;
+  std::int64_t changes = 0;
+  std::uint64_t done = 0;
+  for (; done < cap; ++done) {
+    if (!s_.ok_) break;
+    if ((done & 15u) == 0 && budget.poll() != BudgetTrip::None) break;
+    const std::int64_t spent = s_.stats_.propagations - start_props;
+    if (prop_cap > 0 && spent >= prop_cap) break;
+    if (budget_props > 0 && spent >= budget_props) break;
+    changes += vivify_one(cands[(start + done) % count]);
+  }
+  s_.viv_cursor_ = (start + done) % count;
+  return changes;
+}
+
+std::int64_t Inprocessor::vivify_one(ClauseRef cref) {
+  assert(s_.decision_level() == 0);
+  if (s_.arena_.deleted(cref)) return 0;
+  const int orig_size = s_.arena_.size(cref);
+  const bool learnt = s_.arena_.learnt(cref);
+  const int old_lbd = s_.arena_.lbd(cref);
+  const float old_act = s_.arena_.activity(cref);
+
+  // The clause must not see itself while its literals are re-propagated.
+  detach(cref);
+
+  scratch_.clear();
+  {
+    const std::uint32_t* codes = s_.arena_.lit_codes(cref);
+    for (int i = 0; i < orig_size; ++i) {
+      scratch_.push_back(Lit::from_code(static_cast<int>(codes[i])));
+    }
+  }
+
+  // Assume the negation of each literal in turn. Three exits per literal:
+  //   true   — the prefix (or the root) implies it: the clause up to and
+  //            including this literal subsumes the original; stop.
+  //   false  — the prefix (or the root) refutes it: dead literal, drop.
+  //   undef  — take ~l as a decision and propagate; a conflict means the
+  //            prefix plus l is already implied by the formula: stop.
+  std::vector<Lit> kept;
+  kept.reserve(static_cast<std::size_t>(orig_size));
+  bool satisfied_at_root = false;
+  for (const Lit l : scratch_) {
+    const LBool v = s_.value(l);
+    if (v == LBool::True) {
+      if (s_.level(l.var()) == 0) {
+        satisfied_at_root = true;
+      } else {
+        kept.push_back(l);
+      }
+      break;
+    }
+    if (v == LBool::False) continue;
+    s_.new_decision_level();
+    s_.enqueue(~l, {CdclSolver::ReasonKind::None, kInvalidClauseRef});
+    const bool conflicted = s_.propagate().valid();
+    kept.push_back(l);
+    if (conflicted) break;
+  }
+  s_.backtrack(0);
+
+  if (satisfied_at_root) {
+    s_.arena_.set_deleted(cref);
+    if (learnt) --s_.learnt_count_;
+    deleted_ = true;
+    ++s_.stats_.viv_removed_clauses;
+    return 1;
+  }
+  const auto new_size = static_cast<int>(kept.size());
+  if (new_size == orig_size) {
+    attach(cref);
+    return 0;
+  }
+
+  s_.arena_.set_deleted(cref);
+  if (learnt) --s_.learnt_count_;
+  deleted_ = true;
+  if (new_size == 0) {
+    // Every literal false at the root: the formula is unsatisfiable.
+    s_.ok_ = false;
+    ++s_.stats_.viv_removed_clauses;
+    return 1;
+  }
+  ++s_.stats_.vivified_clauses;
+  s_.stats_.vivified_literals += orig_size - new_size;
+  if (new_size == 1) {
+    enqueue_root(kept[0]);
+    if (s_.ok_ && s_.propagate().valid()) s_.ok_ = false;
+    return orig_size - new_size;
+  }
+  const ClauseRef fresh = s_.attach_clause(kept, learnt);
+  if (learnt) {
+    ++s_.learnt_count_;
+    s_.arena_.set_lbd(fresh, std::min(old_lbd, new_size));
+    s_.arena_.set_activity(fresh, old_act);
+  }
+  return orig_size - new_size;
+}
+
+// ---- pass 2: equivalent-literal substitution ----
+
+std::int64_t Inprocessor::substitute() {
+  std::vector<std::pair<Var, Lit>> merges;
+  if (!find_equivalences(&merges)) {
+    s_.ok_ = false;
+    return 0;
+  }
+  if (merges.empty()) return 0;
+  return apply_substitution(merges);
+}
+
+bool Inprocessor::find_equivalences(std::vector<std::pair<Var, Lit>>* merges) {
+  const auto nodes = static_cast<std::size_t>(2 * s_.num_vars());
+
+  // Binary implication graph over literal codes: a live two-literal
+  // clause (a | b) with both variables open at the root contributes
+  // ~a -> b and ~b -> a. Clauses touching assigned variables are the
+  // vivifier's business, not an equivalence source.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (ClauseRef cr = 0; cr != s_.arena_.end_ref(); cr = s_.arena_.next(cr)) {
+    if (s_.arena_.deleted(cr) || s_.arena_.size(cr) != 2) continue;
+    const Lit a = s_.arena_.lit(cr, 0);
+    const Lit b = s_.arena_.lit(cr, 1);
+    if (s_.value(a) != LBool::Undef || s_.value(b) != LBool::Undef) continue;
+    edges.emplace_back(static_cast<std::uint32_t>((~a).code()),
+                       static_cast<std::uint32_t>(b.code()));
+    edges.emplace_back(static_cast<std::uint32_t>((~b).code()),
+                       static_cast<std::uint32_t>(a.code()));
+  }
+  if (edges.empty()) return true;
+
+  // CSR adjacency.
+  std::vector<std::uint32_t> head(nodes + 1, 0);
+  for (const auto& [f, t] : edges) ++head[f + 1];
+  for (std::size_t i = 1; i <= nodes; ++i) head[i] += head[i - 1];
+  std::vector<std::uint32_t> adj(edges.size());
+  {
+    std::vector<std::uint32_t> fill(head.begin(), head.end() - 1);
+    for (const auto& [f, t] : edges) adj[fill[f]++] = t;
+  }
+
+  // Iterative Tarjan (the implication graph of a hard instance overflows
+  // a recursion stack long before it overflows memory).
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> idx(nodes, kUnvisited);
+  std::vector<std::uint32_t> low(nodes, 0);
+  std::vector<std::uint32_t> comp(nodes, kUnvisited);
+  std::vector<char> on_stack(nodes, 0);
+  std::vector<std::uint32_t> scc_stack;
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  std::uint32_t next_index = 0;
+  std::uint32_t next_comp = 0;
+
+  for (std::size_t root = 0; root < nodes; ++root) {
+    if (idx[root] != kUnvisited) continue;
+    idx[root] = low[root] = next_index++;
+    on_stack[root] = 1;
+    scc_stack.push_back(static_cast<std::uint32_t>(root));
+    frames.push_back({static_cast<std::uint32_t>(root), head[root]});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::uint32_t u = f.node;
+      if (f.edge < head[u + 1]) {
+        const std::uint32_t v = adj[f.edge++];
+        if (idx[v] == kUnvisited) {
+          idx[v] = low[v] = next_index++;
+          on_stack[v] = 1;
+          scc_stack.push_back(v);
+          frames.push_back({v, head[v]});
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], idx[v]);
+        }
+        continue;
+      }
+      if (low[u] == idx[u]) {
+        for (;;) {
+          const std::uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          comp[w] = next_comp;
+          if (w == u) break;
+        }
+        ++next_comp;
+      }
+      const std::uint32_t lu = low[u];
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().node] = std::min(low[frames.back().node], lu);
+      }
+    }
+  }
+
+  // A literal in the same component as its complement forces l == ~l:
+  // the formula is unsatisfiable.
+  for (std::size_t v = 0; v < nodes; v += 2) {
+    if (comp[v] != kUnvisited && comp[v] == comp[v + 1]) return false;
+  }
+
+  // Bucket literal codes by component and merge every class of size >= 2
+  // onto its smallest variable. A class and its mirror (the complements)
+  // describe the same equivalence; processing only the class whose
+  // representative literal is positive commits each variable once.
+  std::vector<std::uint32_t> class_size(next_comp, 0);
+  for (std::size_t v = 0; v < nodes; ++v) {
+    if (comp[v] != kUnvisited) ++class_size[comp[v]];
+  }
+  std::vector<std::uint32_t> class_off(next_comp + 1, 0);
+  for (std::uint32_t c = 0; c < next_comp; ++c) {
+    class_off[c + 1] = class_off[c] + class_size[c];
+  }
+  std::vector<std::uint32_t> by_class(class_off.back());
+  {
+    std::vector<std::uint32_t> fill(class_off.begin(), class_off.end() - 1);
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (comp[v] != kUnvisited) by_class[fill[comp[v]]++] = static_cast<std::uint32_t>(v);
+    }
+  }
+  for (std::uint32_t c = 0; c < next_comp; ++c) {
+    const std::uint32_t begin = class_off[c];
+    const std::uint32_t end = class_off[c + 1];
+    if (end - begin < 2) continue;
+    Lit rep = Lit::from_code(static_cast<int>(by_class[begin]));
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      const Lit m = Lit::from_code(static_cast<int>(by_class[i]));
+      if (m.var() < rep.var()) rep = m;
+    }
+    if (rep.negated()) continue;  // the mirror class commits this merge
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Lit m = Lit::from_code(static_cast<int>(by_class[i]));
+      if (m.var() == rep.var()) continue;
+      merges->emplace_back(m.var(), m.negated() ? ~rep : rep);
+    }
+  }
+  return true;
+}
+
+std::int64_t Inprocessor::apply_substitution(
+    const std::vector<std::pair<Var, Lit>>& merges) {
+  // (1) Install the substitution entries; map_lit resolves from here on.
+  for (const auto& [v, rep] : merges) {
+    s_.subst_[static_cast<std::size_t>(v)] = rep;
+  }
+
+  // (2) Dry-run the PB rewrite before committing anything: folding a
+  // mapped row can overflow int64 (PbConstraint's normalization is
+  // checked), and an aborted half-rewrite would leave the solver torn.
+  struct MappedRow {
+    RootPbReduction red;
+    float activity;
+    std::uint8_t lbd;
+    std::uint8_t flags;
+  };
+  std::vector<MappedRow> rows;
+  rows.reserve(s_.pbs_.size());
+  {
+    std::vector<PbTerm> tmp;
+    for (const CdclSolver::PbData& pb : s_.pbs_) {
+      if (pb.flags & CdclSolver::kPbDeleted) continue;
+      tmp.clear();
+      for (const PbTerm& t : s_.pb_terms(pb)) {
+        tmp.push_back({t.coeff, s_.map_lit(t.lit)});
+      }
+      try {
+        rows.push_back({reduce_pb_at_root(tmp, pb.bound, s_.assigns_),
+                        pb.activity, pb.lbd, pb.flags});
+      } catch (const std::overflow_error&) {
+        // Roll the whole merge back — skipping one substitution round is
+        // strictly better than attaching an inexact row.
+        for (const auto& [v, rep] : merges) {
+          s_.subst_[static_cast<std::size_t>(v)] = Lit::positive(v);
+        }
+        return 0;
+      }
+    }
+  }
+
+  // (3) Commit the merges: reconstruction stack, elimination marks, and
+  // heuristic-state migration (the representative inherits the stronger
+  // activity and, with it, that variable's saved phase).
+  std::vector<double>& scores = s_.order_.scores();
+  for (const auto& [v, rep] : merges) {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto ri = static_cast<std::size_t>(rep.var());
+    s_.eliminated_[vi] = 1;
+    s_.reconstruction_.push_back({v, rep});
+    ++s_.stats_.replaced_vars;
+    if (scores[vi] > scores[ri]) {
+      scores[ri] = scores[vi];
+      const bool v_true = s_.polarity_[vi] != 0;
+      s_.polarity_[ri] = (v_true != rep.negated()) ? 1 : 0;
+      if (s_.order_.contains(rep.var())) s_.order_.update(rep.var());
+    }
+  }
+  std::int64_t changes = static_cast<std::int64_t>(merges.size());
+
+  // (4) Rewrite every live clause through the map. Same-width rewrites
+  // overwrite literal codes in place; shrinks allocate a fresh record.
+  // No per-clause watcher surgery here — step (5) rebuilds the pools
+  // from scratch, which is cheaper than N detach/attach round trips.
+  std::vector<Lit> pending_units;
+  const ClauseRef end = s_.arena_.end_ref();
+  for (ClauseRef cr = 0; cr != end; cr = s_.arena_.next(cr)) {
+    if (s_.arena_.deleted(cr)) continue;
+    const int size = s_.arena_.size(cr);
+    std::uint32_t* codes = s_.arena_.lit_codes(cr);
+    bool mapped = false;
+    for (int i = 0; i < size; ++i) {
+      const Lit l = Lit::from_code(static_cast<int>(codes[i]));
+      if (s_.map_lit(l) != l) {
+        mapped = true;
+        break;
+      }
+    }
+    if (!mapped) continue;
+    scratch_.clear();
+    bool satisfied = false;
+    for (int i = 0; i < size && !satisfied; ++i) {
+      const Lit ml = s_.map_lit(Lit::from_code(static_cast<int>(codes[i])));
+      const LBool v = s_.value(ml);
+      if (v == LBool::True) {
+        satisfied = true;
+      } else if (v == LBool::Undef) {
+        scratch_.push_back(ml);
+      }
+    }
+    bool tautology = false;
+    if (!satisfied) {
+      std::sort(scratch_.begin(), scratch_.end());
+      scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                     scratch_.end());
+      for (std::size_t i = 0; i + 1 < scratch_.size(); ++i) {
+        if (scratch_[i].var() == scratch_[i + 1].var()) {
+          tautology = true;
+          break;
+        }
+      }
+    }
+    const bool learnt = s_.arena_.learnt(cr);
+    if (satisfied || tautology) {
+      s_.arena_.set_deleted(cr);
+      if (learnt) --s_.learnt_count_;
+      deleted_ = true;
+      ++s_.stats_.viv_removed_clauses;
+      ++changes;
+      continue;
+    }
+    if (scratch_.empty()) {
+      s_.ok_ = false;
+      return changes;
+    }
+    if (scratch_.size() == 1) {
+      pending_units.push_back(scratch_[0]);
+      s_.arena_.set_deleted(cr);
+      if (learnt) --s_.learnt_count_;
+      deleted_ = true;
+      ++changes;
+      continue;
+    }
+    if (static_cast<int>(scratch_.size()) == size) {
+      for (int i = 0; i < size; ++i) {
+        codes[i] = static_cast<std::uint32_t>(
+            scratch_[static_cast<std::size_t>(i)].code());
+      }
+      ++changes;
+      continue;
+    }
+    const int old_lbd = s_.arena_.lbd(cr);
+    const float old_act = s_.arena_.activity(cr);
+    const ClauseRef fresh = s_.arena_.alloc(scratch_, learnt);
+    if (learnt) {
+      s_.arena_.set_lbd(
+          fresh, std::min(old_lbd, static_cast<int>(scratch_.size())));
+      s_.arena_.set_activity(fresh, old_act);
+    }
+    s_.arena_.set_deleted(cr);
+    deleted_ = true;
+    s_.stats_.vivified_literals +=
+        size - static_cast<std::int64_t>(scratch_.size());
+    ++changes;
+  }
+
+  // (5) Rebuild both watcher pools from scratch. Sound because the
+  // watched literals are ALWAYS clause positions 0/1 (attach puts them
+  // there, propagation swaps in place) and every literal of every live
+  // clause is root-unassigned after step (4).
+  const auto nodes = static_cast<std::size_t>(2 * s_.num_vars());
+  s_.watches_.init(nodes);
+  s_.bin_watches_.init(nodes);
+  for (ClauseRef cr = 0; cr != s_.arena_.end_ref(); cr = s_.arena_.next(cr)) {
+    if (s_.arena_.deleted(cr)) continue;
+    attach(cr);
+  }
+
+  // (6) Rebuild PB storage from the dry-run rows: rows that degenerated
+  // to clauses move to clause storage, open rows re-attach with their
+  // management metadata (tier/activity) carried over.
+  s_.pbs_.clear();
+  s_.pb_terms_.clear();
+  s_.pb_occs_.init(nodes);
+  for (MappedRow& row : rows) {
+    switch (row.red.status) {
+      case RootPbStatus::Satisfied:
+        ++changes;
+        break;
+      case RootPbStatus::Contradiction:
+        s_.ok_ = false;
+        return changes;
+      case RootPbStatus::Clause: {
+        scratch_.clear();
+        for (const PbTerm& t : row.red.constraint.terms()) {
+          scratch_.push_back(t.lit);
+        }
+        if (scratch_.size() == 1) {
+          pending_units.push_back(scratch_[0]);
+        } else {
+          const bool learnt = (row.flags & CdclSolver::kPbLearnt) != 0;
+          const ClauseRef fresh = s_.attach_clause(scratch_, learnt);
+          if (learnt) {
+            s_.arena_.set_lbd(fresh, std::max<int>(1, row.lbd));
+            s_.arena_.set_activity(fresh, row.activity);
+            ++s_.learnt_count_;
+          }
+        }
+        ++changes;
+        break;
+      }
+      case RootPbStatus::Open: {
+        const std::uint32_t idx = s_.attach_pb_row(
+            row.red.constraint.terms(), row.red.constraint.bound());
+        CdclSolver::PbData& pb = s_.pbs_[idx];
+        pb.activity = row.activity;
+        pb.lbd = row.lbd;
+        pb.flags = row.flags;
+        for (const Lit f : row.red.forced) pending_units.push_back(f);
+        break;
+      }
+    }
+  }
+
+  // (7) Settle the units the rewrite surfaced and re-propagate.
+  for (const Lit u : pending_units) {
+    enqueue_root(u);
+    if (!s_.ok_) return changes;
+  }
+  if (s_.propagate().valid()) s_.ok_ = false;
+  return changes;
+}
+
+}  // namespace symcolor

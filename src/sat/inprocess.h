@@ -1,0 +1,162 @@
+#pragma once
+// Restart-boundary inprocessing for the CDCL(+PB) engine.
+//
+// The formula a solver carries degrades into an over-description as search
+// learns: literals falsified at the root stay in clause bodies, satisfied
+// rows keep their watchers, and binary implications accumulate x -> y ->
+// x cycles whose variables are distinct in name only. The Inprocessor
+// runs at restart boundaries (decision level 0, trail = root units) under
+// a SolveBudget child slice and shrinks the live database in place:
+//
+//  1. Vivification (CryptoMiniSat's ClauseVivifier scheme): each candidate
+//     clause is detached and its literals re-propagated one by one on a
+//     throwaway decision level. A literal whose complement propagates a
+//     conflict ends the clause early (the prefix already implies the
+//     formula's constraint — the suffix is dead weight); a literal
+//     falsified by the prefix is removed; a root-satisfied clause is
+//     deleted outright. Candidates rotate through a per-round churn cap
+//     (problem clauses + core/mid-tier learnts), so a round costs a
+//     bounded slice of propagation work, not a DB scan.
+//
+//  2. Equivalent-literal substitution (the VarReplacer scheme; only under
+//     InprocessMode::Full): Tarjan SCC over the binary implication graph
+//     finds literal classes provably equal in every model. Each class
+//     collapses onto its smallest variable; the substitution map rewrites
+//     every clause and PB row, activity/phase state migrates to the
+//     representative, and a reconstruction stack lets extend_model() give
+//     eliminated variables their forced values in model(). Late-arriving
+//     literals — assumptions, exchange imports, incremental add_clause/
+//     add_pb — are remapped through CdclSolver::map_lit at the boundary.
+//
+// Soundness scope: everything either pass derives is a consequence of the
+// formula alone (level-0 trail literals are never assumption-dependent,
+// and learnt binaries never resolve on assumption pseudo-decisions), so
+// deletions and substitutions survive across solve() calls with
+// different assumptions, across clones, and across the clause exchange.
+//
+// Degradation semantics: a round polls its budget between clauses and
+// stops early at any trip, always finishing the clause in flight — the
+// database is consistent (watchers attached, pools coherent, trail
+// propagated) after every return, tripped or not.
+//
+// The root-reduction helpers below are the shared simplification core:
+// cnf/simplify.cpp (pre-solve preprocessing) and the inprocessor's
+// substitution pass both reduce constraints against a root assignment
+// through them, so the two layers cannot drift apart.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/formula.h"
+#include "cnf/literals.h"
+#include "cnf/pb_constraint.h"
+#include "sat/cdcl.h"
+#include "util/budget.h"
+
+namespace symcolor {
+
+// ---- shared root-reduction core (preprocessing + inprocessing) ----
+
+/// What reducing a clause against a root assignment yielded.
+enum class RootClauseStatus : std::uint8_t {
+  Unchanged,  ///< no literal assigned; `reduced` untouched
+  Shortened,  ///< false literals stripped; `reduced` holds >= 2 literals
+  Satisfied,  ///< some literal true at root; drop the clause
+  Unit,       ///< one literal left; `reduced` holds exactly it
+  Empty,      ///< every literal false at root; the formula is unsat
+};
+
+/// Reduce `lits` against `values` (indexed by variable): drop false
+/// literals, detect satisfaction/unit/empty. Writes the surviving
+/// literals into `*reduced` except when Unchanged or Satisfied.
+RootClauseStatus reduce_clause_at_root(std::span<const Lit> lits,
+                                       std::span<const LBool> values,
+                                       Clause* reduced);
+
+/// What reducing a PB row against a root assignment yielded.
+enum class RootPbStatus : std::uint8_t {
+  Open,           ///< still a proper PB row; see `constraint` and `forced`
+  Clause,         ///< degenerated to a clause; see `constraint`
+  Satisfied,      ///< tautological after folding; drop the row
+  Contradiction,  ///< bound exceeds the attainable sum; unsat
+};
+
+struct RootPbReduction {
+  RootPbStatus status = RootPbStatus::Satisfied;
+  /// The folded row (Open) or its clause form (Clause).
+  PbConstraint constraint;
+  /// Literals the folded row forces outright (coefficient > slack);
+  /// filled for Open rows only.
+  std::vector<Lit> forced;
+};
+
+/// Fold root-assigned literals out of `terms >= bound` (true terms pay
+/// their coefficient off the bound, false terms drop) and classify the
+/// remainder. `terms` need not be normalized; duplicate and complementary
+/// literals are merged by PbConstraint's own normalization. Throws
+/// std::overflow_error when folding overflows int64 (as PbConstraint
+/// construction itself would).
+RootPbReduction reduce_pb_at_root(std::span<const PbTerm> terms,
+                                  std::int64_t bound,
+                                  std::span<const LBool> values);
+
+// ---- the restart-boundary inprocessor ----
+
+/// One inprocessing round over a quiescent CdclSolver. Construct fresh
+/// per round (it is a cursor-free view; the rotating vivification cursor
+/// lives in the solver so it survives between rounds and across clones).
+class Inprocessor {
+ public:
+  explicit Inprocessor(CdclSolver& solver) : s_(solver) {}
+
+  /// Run the passes selected by the solver's InprocessMode under `budget`
+  /// (plus the solver's own inprocess_prop_budget). Requires decision
+  /// level 0; re-propagates first and refuses to run on an unsat solver.
+  /// Returns literals dropped + clauses removed + variables replaced; the
+  /// solver's ok_ flag is cleared when a pass derives root-level
+  /// unsatisfiability.
+  std::int64_t run(const SolveBudget& budget);
+
+ private:
+  // -- vivification --
+  std::int64_t vivify(const SolveBudget& budget);
+  /// Re-propagate one detached clause; returns the change count and
+  /// leaves the solver at level 0 with the clause (or its replacement)
+  /// attached, or deleted when subsumed. Sets deleted_ on any deletion.
+  std::int64_t vivify_one(ClauseRef cref);
+
+  // -- equivalent-literal substitution --
+  std::int64_t substitute();
+  /// Tarjan SCC over the binary implication graph; fills `merges` with
+  /// (variable, representative literal) pairs. Returns false when a
+  /// class contains a literal and its complement (the formula is unsat).
+  bool find_equivalences(std::vector<std::pair<Var, Lit>>* merges);
+  /// Commit a merge set: update subst_/eliminated_/reconstruction_,
+  /// migrate activity and phase, rewrite every clause and PB row, rebuild
+  /// the watcher and occurrence pools, re-propagate. Returns the change
+  /// count; clears ok_ on a derived contradiction.
+  std::int64_t apply_substitution(
+      const std::vector<std::pair<Var, Lit>>& merges);
+
+  // -- plumbing --
+  /// Strip ClauseRef/PbRef reasons off the level-0 trail. Root literals
+  /// never need their reasons again (every analysis walk skips level 0),
+  /// and a dangling reason to a clause the round deletes would break the
+  /// next garbage collection's forwarding remap.
+  void clear_root_reasons();
+  /// Remove the two watcher entries of `cref` (watched literals are
+  /// always clause positions 0/1) from the size-appropriate pool.
+  void detach(ClauseRef cref);
+  /// Push the two watcher entries of `cref` back (positions 0/1).
+  void attach(ClauseRef cref);
+  /// Enqueue a root unit if still unassigned; clears ok_ on conflict
+  /// with the root assignment. Does not propagate.
+  void enqueue_root(Lit l);
+
+  CdclSolver& s_;
+  bool deleted_ = false;        ///< any arena deletion this round
+  std::vector<Lit> scratch_;    ///< per-clause literal buffer
+};
+
+}  // namespace symcolor

@@ -211,6 +211,11 @@ class PortfolioSolver final : public SolverEngine {
   [[nodiscard]] BudgetTrip last_trip() const noexcept override {
     return last_trip_;
   }
+  /// Inprocess the master; the next solve()'s clones inherit the shrunk
+  /// formula and the substitution/reconstruction state.
+  std::int64_t inprocess(const SolveBudget& budget = {}) override {
+    return master_->inprocess(budget);
+  }
 
   // ---- race introspection (tests / benchmarks) ----
   /// Index of the worker whose answer the last solve() surfaced; -1 when

@@ -125,6 +125,22 @@ struct SolverStats {
   /// Stuck cubes split and re-dealt after tripping their conflict slice.
   std::int64_t cube_splits = 0;
 
+  // ---- inprocessing (restart-boundary simplification) ----
+  /// Inprocessing rounds completed (vivification, plus SCC substitution
+  /// when SolverConfig::inprocess == Full).
+  std::int64_t inprocess_rounds = 0;
+  /// Clauses shortened by vivification (falsified literals dropped or a
+  /// propagation-implied suffix cut off).
+  std::int64_t vivified_clauses = 0;
+  /// Literals removed from vivified clauses.
+  std::int64_t vivified_literals = 0;
+  /// Clauses deleted outright by vivification (root-satisfied or
+  /// propagation-subsumed rows).
+  std::int64_t viv_removed_clauses = 0;
+  /// Variables eliminated by equivalent-literal substitution (binary
+  /// implication-graph SCC collapse).
+  std::int64_t replaced_vars = 0;
+
   // ---- resource-control exits (which budget ended a solve early) ----
   /// Unknown exits because the wall-clock deadline ran out.
   std::int64_t deadline_exits = 0;
@@ -175,6 +191,11 @@ void for_each_stat(SolverStats& into, const SolverStats& from, F&& f) {
   f(into.cubes_refuted, from.cubes_refuted);
   f(into.cube_siblings_pruned, from.cube_siblings_pruned);
   f(into.cube_splits, from.cube_splits);
+  f(into.inprocess_rounds, from.inprocess_rounds);
+  f(into.vivified_clauses, from.vivified_clauses);
+  f(into.vivified_literals, from.vivified_literals);
+  f(into.viv_removed_clauses, from.viv_removed_clauses);
+  f(into.replaced_vars, from.replaced_vars);
   f(into.deadline_exits, from.deadline_exits);
   f(into.conflict_budget_exits, from.conflict_budget_exits);
   f(into.prop_budget_exits, from.prop_budget_exits);
@@ -303,6 +324,16 @@ class SolverEngine {
   }
 
   [[nodiscard]] virtual int num_vars() const noexcept = 0;
+
+  /// Run one inprocessing round right now (vivification + equivalent-
+  /// literal substitution, per the engine's SolverConfig::inprocess mode)
+  /// at a quiescent point, regardless of the conflict cadence. Returns the
+  /// number of changes made (literals dropped + clauses removed + variables
+  /// replaced); 0 for engines without an inprocessor. The parallel engines
+  /// forward to their master so a pre-clone round benefits every worker.
+  virtual std::int64_t inprocess(const SolveBudget& /*budget*/ = {}) {
+    return 0;
+  }
 
   /// Deep copy of the full solver state — constraints, learned clauses,
   /// activities, saved phases, trail prefix. Must only be called at a

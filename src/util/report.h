@@ -42,4 +42,10 @@ inline constexpr int kExitUsage = 3;
 [[nodiscard]] std::string format_budget_line(BudgetTrip tripped,
                                              const SolverStats& stats);
 
+/// "inprocess: N rounds, N clauses vivified, N literals dropped, N
+/// clauses removed, N vars replaced" — the restart-boundary inprocessing
+/// summary, printed only when at least one round ran (inprocess_rounds >
+/// 0, i.e. never under --inprocess off).
+[[nodiscard]] std::string format_inprocess_line(const SolverStats& stats);
+
 }  // namespace symcolor

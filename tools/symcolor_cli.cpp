@@ -17,6 +17,9 @@
 //   --cube-depth <n> cube-and-conquer: split the search space into
 //                   assumption cubes of up to depth n and deal them to
 //                   --threads workers (default 0 = race full copies)
+//   --inprocess <m> restart-boundary inprocessing: off | viv | full
+//                   (default viv; full adds equivalent-literal
+//                   substitution — the answer is identical in every mode)
 //   --decision      K-colorability query instead of minimization
 //   --simplify      pre-solve simplification (units, pures, subsumption)
 //   --satloop       pure-CNF SAT-loop pipeline instead of native PB
@@ -73,7 +76,9 @@ void usage() {
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
                "[--solver s] [--search linear|binary|core]\n"
                "                    [--threads n] [--cube-depth n] "
-               "[--decision] [--satloop] [--opb file] [--stats]\n"
+               "[--inprocess off|viv|full]\n"
+               "                    [--decision] [--satloop] [--opb file] "
+               "[--stats]\n"
                "                    (<graph.col> | --instance <name>)\n"
                "resource control (<= 0 = unlimited; Ctrl-C interrupts and "
                "reports best-so-far):\n"
@@ -99,6 +104,13 @@ std::optional<SearchStrategy> parse_search(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<InprocessMode> parse_inprocess(const std::string& name) {
+  if (name == "off") return InprocessMode::Off;
+  if (name == "viv") return InprocessMode::Viv;
+  if (name == "full") return InprocessMode::Full;
+  return std::nullopt;
+}
+
 std::optional<SolverKind> parse_solver(const std::string& name) {
   if (name == "pbs") return SolverKind::PbsOriginal;
   if (name == "pbs2") return SolverKind::PbsII;
@@ -118,6 +130,7 @@ int main(int argc, char** argv) {
   SearchStrategy search = SearchStrategy::Linear;
   int threads = 1;
   int cube_depth = 0;
+  InprocessMode inprocess = InprocessMode::Viv;
   double timeout = 0.0;
   long long conflict_budget = 0;
   long long prop_budget = 0;
@@ -163,6 +176,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 0) { usage(); return kExitUsage; }
       cube_depth = std::atoi(v);
+    } else if (arg == "--inprocess") {
+      const char* v = next();
+      const auto parsed = v != nullptr ? parse_inprocess(v) : std::nullopt;
+      if (!parsed) { usage(); return kExitUsage; }
+      inprocess = *parsed;
     } else if (arg == "--timeout") {
       const char* v = next();
       if (v == nullptr) { usage(); return kExitUsage; }
@@ -257,6 +275,7 @@ int main(int argc, char** argv) {
     options.search = search;
     options.solver.portfolio_threads = threads;
     options.solver.cube_depth = cube_depth;
+    options.solver.inprocess = inprocess;
     options.budget = &run_budget;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
@@ -280,6 +299,7 @@ int main(int argc, char** argv) {
   options.search = search;
   options.threads = threads;
   options.cube_depth = cube_depth;
+  options.inprocess = inprocess;
   options.presimplify = presimplify;
   options.budget = &run_budget;
   const ColoringOutcome r =
@@ -307,6 +327,10 @@ int main(int argc, char** argv) {
       // Cube-and-conquer run: show the schedule (dealt/refuted/pruned/
       // split counts summed over every decision query).
       std::printf("%s\n", format_cubes_line(r.solver_stats_all).c_str());
+    }
+    if (r.solver_stats_all.inprocess_rounds > 0) {
+      std::printf("%s\n",
+                  format_inprocess_line(r.solver_stats_all).c_str());
     }
     std::printf("%s\n",
                 format_budget_line(r.tripped, r.solver_stats).c_str());

@@ -234,6 +234,9 @@ Json stats_to_json(const ServiceStats& s) {
   out["queued_now"] = static_cast<std::int64_t>(s.queued_now);
   out["running_now"] = static_cast<std::int64_t>(s.running_now);
   out["conflicts"] = s.solver_totals.conflicts;
+  out["inprocess_rounds"] = s.solver_totals.inprocess_rounds;
+  out["vivified_clauses"] = s.solver_totals.vivified_clauses;
+  out["replaced_vars"] = s.solver_totals.replaced_vars;
   return out;
 }
 
@@ -420,6 +423,11 @@ int main(int argc, char** argv) {
   if (print_stats) {
     std::fprintf(stderr, "%s\n",
                  format_solver_line(final_stats.solver_totals).c_str());
+    if (final_stats.solver_totals.inprocess_rounds > 0) {
+      std::fprintf(
+          stderr, "%s\n",
+          format_inprocess_line(final_stats.solver_totals).c_str());
+    }
     std::fprintf(stderr, "%s\n",
                  format_budget_line(serve_trip, final_stats.solver_totals)
                      .c_str());
