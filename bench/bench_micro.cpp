@@ -455,6 +455,68 @@ void BM_CdclAssumptionSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_CdclAssumptionSolve);
 
+// Optimizer-style probe ladder on one persistent engine where every call
+// EXTENDS the previous assumption vector: {~y(6)}, then {~y(6),~y(5)},
+// then {~y(6),~y(5),~y(4)}, repeated. Consecutive calls share a maximal
+// assumption prefix, so trail reuse keeps the shared levels (and their
+// propagations) alive across the return instead of rebuilding them —
+// exactly the linear-strengthening ladder the optimizer and SAT loop
+// drive. The bench-compare gate on this bench guards the reuse path.
+void BM_CdclAssumptionPrefixReuse(benchmark::State& state) {
+  const Graph g = make_queen_graph(5, 5);
+  const ColoringEncoding enc = encode_k_coloring(g, 7, SbpOptions::nu_sc());
+  const SolverConfig config = profile_config(SolverKind::PbsII);
+  std::int64_t solves = 0;
+  std::int64_t reused = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    std::vector<Lit> assume;
+    for (int round = 0; round < 8; ++round) {
+      assume.clear();
+      for (int k = 6; k >= 4; --k) {  // chi(queen5) = 5: SAT, SAT, UNSAT
+        assume.push_back(Lit::negative(enc.y(k)));
+        benchmark::DoNotOptimize(solver.solve(Deadline{}, assume));
+        ++solves;
+      }
+    }
+    reused += solver.stats().reused_trail_literals;
+  }
+  state.counters["assumption_solves_per_sec"] = benchmark::Counter(
+      static_cast<double>(solves), benchmark::Counter::kIsRate);
+  state.counters["reused_trail_lits_per_iter"] =
+      static_cast<double>(reused) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CdclAssumptionPrefixReuse);
+
+// Chronological backtracking on a conflict-heavy decision query:
+// Arg 0 = off (always full 1UIP backjump), Arg 1 = on at threshold 1 —
+// the aggressive setting, so every multi-level backjump takes the chrono
+// path (the production default of 100 would never fire at queen6 depths).
+// The saved_propagations counter shows how much trail the policy kept
+// alive; run-to-run bench-compare gates both variants so neither the
+// policy nor its bookkeeping regresses the conflict loop.
+void BM_CdclChronoBacktrack(benchmark::State& state) {
+  const Graph g = make_queen_graph(6, 6);
+  const ColoringEncoding enc = encode_k_coloring(g, 7, SbpOptions::nu_sc());
+  SolverConfig config = profile_config(SolverKind::PbsII);
+  config.chrono_threshold = state.range(0) == 0 ? 0 : 1;
+  std::int64_t conflicts = 0;
+  std::int64_t saved = 0;
+  for (auto _ : state) {
+    CdclSolver solver(enc.formula, config);
+    benchmark::DoNotOptimize(solver.solve(Deadline{}));
+    conflicts += solver.stats().conflicts;
+    saved += solver.stats().saved_propagations;
+  }
+  state.counters["conflicts_per_sec"] = benchmark::Counter(
+      static_cast<double>(conflicts), benchmark::Counter::kIsRate);
+  state.counters["saved_props_per_iter"] =
+      static_cast<double>(saved) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_CdclChronoBacktrack)->Arg(0)->Arg(1);
+
 // The three objective search strategies on the same optimizer instance:
 // Arg 0 = linear strengthening, 1 = binary search, 2 = core-guided.
 // Every strategy drives one persistent engine through selector-ladder

@@ -55,6 +55,9 @@ ColoringOutcome run_pipeline(const Graph& graph, const ColoringOptions& options,
     config.portfolio_threads = options.threads;
     config.cube_depth = options.cube_depth;
     config.inprocess = options.inprocess;
+    if (options.chrono_threshold >= 0) {
+      config.chrono_threshold = options.chrono_threshold;
+    }
     result = optimization
                  ? minimize(enc.formula, config, budget, options.search)
                  : solve_decision(enc.formula, config, budget);

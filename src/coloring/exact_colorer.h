@@ -54,6 +54,11 @@ struct ColoringOptions {
   /// default) or Full (vivification + equivalent-literal substitution).
   /// Answers are identical in every mode. Ignored by GenericIlp.
   InprocessMode inprocess = InprocessMode::Viv;
+  /// Chronological-backtracking threshold of every CDCL engine
+  /// (SolverConfig::chrono_threshold): < 0 keeps the solver profile's
+  /// default, 0 disables, > 0 overrides the backjump-distance cutoff.
+  /// Answers are identical at every setting. Ignored by GenericIlp.
+  std::int64_t chrono_threshold = -1;
   /// Whole-pipeline conflict / propagation budgets across all CDCL probes
   /// (<= 0 = unlimited; ignored by SolverKind::GenericIlp, whose search
   /// has no comparable counters).

@@ -51,6 +51,13 @@ struct MinimizeRun {
   /// gets a child budget carrying only the unspent remainder, and a probe
   /// is refused outright (Unknown) once the ledger is exhausted. Every
   /// Unknown records which bound tripped in result.tripped.
+  ///
+  /// Incremental note: the engine may retain the trail prefix of this
+  /// probe's assumptions across the return (SolverConfig::reuse_trail),
+  /// so consecutive probes sharing an assumption prefix — the ladder
+  /// walks below — skip re-propagating it. commit_upper_bound()'s
+  /// add_clause()/add_pb() between probes triggers the engine's lazy
+  /// root backtrack, which keeps that retention sound.
   SolveResult probe(std::span<const Lit> assumptions = {}) {
     const BudgetTrip pre = ledger.trip();
     if (pre != BudgetTrip::None) {

@@ -79,7 +79,11 @@ CdclSolver::CdclSolver(const Formula& formula, SolverConfig config)
 }
 
 void CdclSolver::reconfigure(const SolverConfig& config) {
-  assert(decision_level() == 0);
+  // Lazy-quiescence entry: a retained assumption trail is consequences of
+  // formula + previous assumptions; a solver about to change personality
+  // (and the clone-then-reconfigure worker-spawn paths that funnel through
+  // here) must start from root state.
+  lazy_root_backtrack();
   config_ = config;
   rng_ = Rng(config.random_seed);
   // std::vector copies do not preserve capacity, so a freshly cloned
@@ -101,7 +105,10 @@ void CdclSolver::reconfigure(const SolverConfig& config) {
 }
 
 bool CdclSolver::add_clause(Clause clause) {
-  assert(decision_level() == 0);
+  // Lazy-quiescence entry: mutating the formula invalidates any retained
+  // assumption trail, so discard it before simplifying against what must
+  // be the level-0 assignment.
+  lazy_root_backtrack();
   if (!ok_) return false;
   // Clauses arriving after a Full inprocessing round may name variables a
   // substitution eliminated; rewrite them into the representative alphabet
@@ -134,7 +141,9 @@ bool CdclSolver::add_clause(Clause clause) {
 }
 
 bool CdclSolver::add_pb(PbConstraint constraint) {
-  assert(decision_level() == 0);
+  // Same lazy-quiescence entry as add_clause: the slack/forced-literal
+  // admission logic below reads the level-0 assignment.
+  lazy_root_backtrack();
   if (!ok_) return false;
   // Same late-arrival boundary as add_clause: rewrite the row into the
   // representative alphabet. Re-normalizing merges terms that now share a
@@ -268,6 +277,18 @@ CdclSolver::Conflict CdclSolver::propagate() {
     ++stats_.propagations;
     const Lit falsified = ~p;
     const auto fcode = static_cast<std::uint32_t>(falsified.code());
+    // Overlap the NEXT trail literal's watcher slabs with this literal's
+    // scan: the row headers are hot, but the slab lines they point at are
+    // scattered across the pool and their load latency otherwise lands on
+    // the critical path of the next iteration. (A push into another row
+    // during the long scan below can reallocate the slab, invalidating
+    // the hint — prefetch is advisory, so that is merely a wasted line.)
+    if (qhead_ < static_cast<int>(trail_.size())) {
+      const auto nrow = static_cast<std::size_t>(
+          (~trail_[static_cast<std::size_t>(qhead_)]).code());
+      __builtin_prefetch(bin_watches_.data(nrow));
+      __builtin_prefetch(watches_.data(nrow));
+    }
 
     // --- binary implications first ---
     // The binary row is read-only during the scan (binary watches never
@@ -1075,6 +1096,26 @@ void CdclSolver::backtrack(int target_level) {
   qhead_ = bound;
 }
 
+void CdclSolver::lazy_root_backtrack() {
+  backtrack(0);
+  prev_asms_.clear();
+}
+
+void CdclSolver::exit_backtrack() {
+  // Retain the assumption-level prefix across the solve() return: levels
+  // 1..retain mirror the call's first `retain` assumptions (prev_asms_ was
+  // set to the call's mapped assumption vector at entry), and each is a
+  // propagation fixpoint — qhead_ never jumps forward, so nothing pending
+  // below the truncation point is skipped. With reuse off this degrades to
+  // the classic eager backtrack(0).
+  int retain = 0;
+  if (config_.reuse_trail) {
+    retain = std::min(decision_level(), static_cast<int>(prev_asms_.size()));
+  }
+  backtrack(retain);
+  prev_asms_.resize(static_cast<std::size_t>(retain));
+}
+
 Lit CdclSolver::pick_branch() {
   if (config_.random_branch_freq > 0.0 &&
       rng_.uniform() < config_.random_branch_freq) {
@@ -1380,15 +1421,34 @@ void CdclSolver::reduce_db() {
 }
 
 void CdclSolver::garbage_collect() {
-  // Compact live clauses into a fresh arena in layout order, then remap
-  // every stored ClauseRef (watch lists and trail reasons) through the
-  // forwarding pointers the relocation left behind. Deleted clauses are
-  // simply not copied, so no tombstones survive into the next propagation.
+  // Compact live clauses into a fresh arena, then remap every stored
+  // ClauseRef (watch lists and trail reasons) through the forwarding
+  // pointers the relocation left behind. Deleted clauses are simply not
+  // copied, so no tombstones survive into the next propagation.
+  //
+  // Tier-partitioned layout: survivors are relocated in three passes —
+  // problem clauses + core-tier learnts first, then mid, then local — so
+  // each retention tier lands in one contiguous arena segment. The hot
+  // tier (problem + glue clauses, which every conflict-heavy propagation
+  // touches) packs into the lowest addresses and stays cache-resident
+  // while the churny local tier is swept in and out behind it. Multi-pass
+  // sweeping needs no arena support beyond what single-pass used:
+  // relocate() is idempotent per record (relocated bit + forwarding ref)
+  // and leaves the old header's size/learnt/LBD bits intact, so later
+  // passes still classify records and step next() over ones already moved.
   ClauseArena to;
   to.reserve(arena_.words());
-  for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
-    if (!arena_.deleted(cr)) arena_.relocate(cr, &to);
-  }
+  const auto sweep = [&](auto&& want) {
+    for (ClauseRef cr = 0; cr != arena_.end_ref(); cr = arena_.next(cr)) {
+      if (arena_.deleted(cr) || arena_.relocated(cr)) continue;
+      if (want(cr)) arena_.relocate(cr, &to);
+    }
+  };
+  sweep([&](ClauseRef cr) {
+    return !arena_.learnt(cr) || clause_tier(cr) == Tier::Core;
+  });
+  sweep([&](ClauseRef cr) { return clause_tier(cr) == Tier::Mid; });
+  sweep([](ClauseRef) { return true; });  // local tier — the remainder
   // Remap surviving watchers through the forwarding refs while rebuilding
   // each pool: one pass both drops dead entries and restores the
   // garbage-free CSR layout (rows in literal order, zero slack).
@@ -1422,6 +1482,72 @@ TierCounts CdclSolver::learned_tier_counts() const {
   return tc;
 }
 
+void CdclSolver::maybe_reduce() {
+  const bool reduce_now =
+      config_.reduce_scheme == ReduceScheme::ConflictInterval
+          ? stats_.conflicts >= next_reduce_conflicts_
+          : static_cast<double>(learnt_count_) >= max_learnts_;
+  if (!reduce_now) return;
+  reduce_db();
+  if (config_.reduce_scheme == ReduceScheme::ConflictInterval) {
+    // Linear back-off (CaDiCaL lineage): each completed round earns the
+    // DB a longer leash before the next one.
+    ++reduce_rounds_;
+    next_reduce_conflicts_ = stats_.conflicts + config_.reduce_interval_base +
+                             config_.reduce_interval_inc * reduce_rounds_;
+  } else {
+    max_learnts_ *= 1.2;
+  }
+}
+
+bool CdclSolver::on_restart(const SolveBudget& budget,
+                            std::span<const Lit> assumptions,
+                            std::span<const Lit>* asms) {
+  // Everything below is root-level work. A retained-trail solve entry
+  // arrives here above level 0: skip the whole round — the first real
+  // restart unwinds to level 0 and catches up on the same schedules.
+  if (decision_level() != 0) return true;
+  // Absorb clauses other portfolio workers published. At level 0 imports
+  // take the ordinary root-clause path; deriving level-0 unsat from a
+  // foreign clause ends the search outright.
+  if (hooks_.sharing != nullptr && !drain_imports()) {
+    ok_ = false;
+    return false;
+  }
+  // Restart-boundary inprocessing (sat/inprocess.h): on the conflict
+  // schedule, run a budgeted simplification round — level 0 is the one
+  // point where deleting and rewriting constraints is sound. The round
+  // runs under a child slice of the caller's budget, so its propagation
+  // work both honors the caller's deadline and (being counted in
+  // stats_.propagations) burns down the caller's prop cap.
+  if (config_.inprocess != InprocessMode::Off &&
+      stats_.conflicts >= next_inprocess_conflicts_) {
+    const SolveBudget slice =
+        budget.child(0.0, 0, config_.inprocess_prop_budget);
+    Inprocessor(*this).run(slice);
+    ++inprocess_rounds_done_;
+    next_inprocess_conflicts_ =
+        stats_.conflicts + config_.inprocess_interval_base +
+        config_.inprocess_interval_inc * inprocess_rounds_done_;
+    if (!ok_) return false;
+    if (!reconstruction_.empty()) {
+      mapped_assumptions_.assign(assumptions.begin(), assumptions.end());
+      for (Lit& a : mapped_assumptions_) a = map_lit(a);
+      *asms = mapped_assumptions_;
+    }
+  }
+  // Refresh the trail-reuse bookkeeping for this solve's exit retention:
+  // a substitution round above remaps the assumption alphabet, and a
+  // mid-solve import's add_clause path clears prev_asms_ through the lazy
+  // backtrack — both are repaired here, at level 0, where retention state
+  // is vacuous and reassignment is always sound.
+  if (config_.reuse_trail) prev_asms_.assign(asms->begin(), asms->end());
+  // NO reduce here: the reduce cadence lives in the inner search loop
+  // (maybe_reduce()); an extra boundary check would fire rounds slightly
+  // earlier and shift the search trajectory for no benefit.
+  return true;
+}
+
 SolveResult CdclSolver::budget_exit(BudgetTrip trip) {
   last_trip_ = trip;
   switch (trip) {
@@ -1431,7 +1557,7 @@ SolveResult CdclSolver::budget_exit(BudgetTrip trip) {
     case BudgetTrip::Interrupt: ++stats_.interrupt_exits; break;
     case BudgetTrip::None: break;
   }
-  backtrack(0);
+  exit_backtrack();
   return SolveResult::Unknown;
 }
 
@@ -1452,18 +1578,16 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
   }
   // Rebuild hooks for the flat pools: incremental add_clause/add_pb since
   // the last solve appended through the growth path; re-compact to CSR
-  // order so the search starts from a garbage-free layout.
+  // order so the search starts from a garbage-free layout. (Pool layout
+  // only — slacks and assignments are untouched, so a retained trail can
+  // stand through a compaction; in practice a dirty pool implies add_pb
+  // ran, whose lazy backtrack already cleared any retained trail.)
   if (pb_occs_dirty_) {
     pb_occs_.compact();
     pb_occs_dirty_ = false;
   }
   if (watches_.sparse()) watches_.compact();
   if (bin_watches_.sparse()) bin_watches_.compact();
-  backtrack(0);
-  if (propagate().valid()) {
-    ok_ = false;
-    return SolveResult::Unsat;
-  }
   for (const Lit a : assumptions) {
     if (!a.valid() || a.var() >= num_vars()) return SolveResult::Unsat;
   }
@@ -1476,6 +1600,45 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
     mapped_assumptions_.assign(assumptions.begin(), assumptions.end());
     for (Lit& a : mapped_assumptions_) a = map_lit(a);
     asms = mapped_assumptions_;
+  }
+  // Assumption-trail reuse: the previous solve retained its assumption-
+  // level prefix (levels 1..k mirror prev_asms_[0..k-1], each a
+  // propagation fixpoint); keep the longest prefix matching this call's
+  // assumptions and unwind only above it. Any formula mutation since the
+  // last solve went through lazy_root_backtrack(), which cleared
+  // prev_asms_ — so a nonzero keep certifies the retained levels are a
+  // fixpoint of the CURRENT formula under the shared assumption prefix.
+  int keep = 0;
+  if (config_.reuse_trail) {
+    const int limit =
+        std::min(decision_level(),
+                 std::min(static_cast<int>(prev_asms_.size()),
+                          static_cast<int>(asms.size())));
+    while (keep < limit &&
+           prev_asms_[static_cast<std::size_t>(keep)] ==
+               asms[static_cast<std::size_t>(keep)]) {
+      ++keep;
+    }
+  }
+  backtrack(keep);
+  if (keep > 0) {
+    // Everything above the root block survived the re-entry: these are
+    // propagations the eager contract would have discarded and re-derived.
+    stats_.reused_trail_literals +=
+        static_cast<std::int64_t>(trail_.size()) -
+        static_cast<std::int64_t>(trail_lim_[0]);
+  }
+  prev_asms_.assign(asms.begin(), asms.end());
+  // Root propagation absorbs constraints added since the last solve. A
+  // retained prefix (keep > 0) is already at fixpoint with nothing added,
+  // so the root pass only runs from level 0 — and a conflict there is
+  // final. Above level 0 any queue the previous solve left pending (a
+  // budgeted exit can retain an enqueued-but-unpropagated literal) is
+  // drained by the search loop's first propagate(), where a conflict goes
+  // through ordinary analysis instead of being misread as level-0 unsat.
+  if (decision_level() == 0 && propagate().valid()) {
+    ok_ = false;
+    return SolveResult::Unsat;
   }
   // Already-satisfied assumptions open dummy decision levels that assign
   // no variable, so the deepest level can exceed num_vars() by up to
@@ -1504,36 +1667,12 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
       config_.fault_injection.throw_after_conflicts;
 
   for (;;) {
-    // Restart boundary (also the solve entry): absorb clauses other
-    // portfolio workers published. We are at decision level 0 here, so
-    // imports take the ordinary root-clause path; deriving level-0 unsat
-    // from a foreign clause ends the search outright.
-    if (hooks_.sharing != nullptr && !drain_imports()) {
-      ok_ = false;
-      return SolveResult::Unsat;
-    }
-    // Restart-boundary inprocessing (sat/inprocess.h): on the conflict
-    // schedule, run a budgeted simplification round — we are at level 0,
-    // the one point where deleting and rewriting constraints is sound.
-    // The round runs under a child slice of the caller's budget, so its
-    // propagation work both honors the caller's deadline and (being
-    // counted in stats_.propagations) burns down the caller's prop cap.
-    if (config_.inprocess != InprocessMode::Off &&
-        stats_.conflicts >= next_inprocess_conflicts_) {
-      const SolveBudget slice =
-          budget.child(0.0, 0, config_.inprocess_prop_budget);
-      Inprocessor(*this).run(slice);
-      ++inprocess_rounds_done_;
-      next_inprocess_conflicts_ =
-          stats_.conflicts + config_.inprocess_interval_base +
-          config_.inprocess_interval_inc * inprocess_rounds_done_;
-      if (!ok_) return SolveResult::Unsat;
-      if (!reconstruction_.empty()) {
-        mapped_assumptions_.assign(assumptions.begin(), assumptions.end());
-        for (Lit& a : mapped_assumptions_) a = map_lit(a);
-        asms = mapped_assumptions_;
-      }
-    }
+    // Restart boundary (also the solve entry): import drain, inprocess
+    // hook and reduce cadence live behind one helper so the lazy-backtrack
+    // entry — which arrives here ABOVE level 0 on a retained trail and
+    // must skip all root-level work until the first real restart — cannot
+    // order them inconsistently.
+    if (!on_restart(budget, assumptions, &asms)) return SolveResult::Unsat;
     // Scheduled restart interval; the adaptive scheme restarts on the
     // LBD-EMA condition instead and ignores the schedule.
     const std::int64_t interval =
@@ -1623,6 +1762,13 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
                 update_restart_emas(pl.glue);
                 maybe_block_restart(conflicts_this_restart);
                 if (pl.is_clause) maybe_export(pl.clause, pl.glue);
+                // Chronological backtracking deliberately does NOT apply
+                // to PB-learned outcomes: a PB resolvent assertive at its
+                // backjump level need not propagate (or conflict) at any
+                // higher level, so stopping at L-1 could stall the search
+                // or re-learn the same resolvent; and the degenerate
+                // clause path's unit enqueue below assumes every other
+                // literal is false at exactly pl.backjump.
                 backtrack(pl.backjump);
                 if (pl.is_clause && pl.clause.size() == 1) {
                   // Asserting unit: the backjump level is 0 by
@@ -1700,7 +1846,30 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
             update_restart_emas(lbd);
             maybe_block_restart(conflicts_this_restart);
             maybe_export(learnt, lbd);
-            backtrack(backjump);
+            // Chronological backtracking (CaDiCaL/MapleLCM): when the
+            // 1UIP backjump would discard a long stretch of levels, undo
+            // only the conflicting level and assert the learnt clause one
+            // level down — the skipped levels' propagations stay standing.
+            // Sound here because (a) assignments record their enqueue-time
+            // decision level, so the trail stays level-monotone and
+            // analyze()/analyze_final()/for_each_reason_lit see the same
+            // invariants as eager backjumping; (b) every non-asserting
+            // learnt literal sits at level <= backjump <= L-1, so the
+            // watcher attach below is shape-identical; (c) assumption
+            // levels keep their positional mapping — chrono only removes
+            // the top level. Unit learnts are excluded: their reason-less
+            // enqueue is only legal at level 0, where analyze_final and
+            // the analysis walk both know to stop.
+            int target = backjump;
+            if (config_.chrono_threshold > 0 && learnt.size() > 1 &&
+                decision_level() - backjump > config_.chrono_threshold) {
+              target = decision_level() - 1;
+              ++stats_.chrono_backtracks;
+              stats_.saved_propagations +=
+                  trail_lim_[static_cast<std::size_t>(target)] -
+                  trail_lim_[static_cast<std::size_t>(backjump)];
+            }
+            backtrack(target);
             if (learnt.size() == 1) {
               enqueue(learnt[0], {ReasonKind::None, kInvalidClauseRef});
             } else {
@@ -1739,23 +1908,7 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
         backtrack(0);
         break;  // restart
       }
-      const bool reduce_now =
-          config_.reduce_scheme == ReduceScheme::ConflictInterval
-              ? stats_.conflicts >= next_reduce_conflicts_
-              : static_cast<double>(learnt_count_) >= max_learnts_;
-      if (reduce_now) {
-        reduce_db();
-        if (config_.reduce_scheme == ReduceScheme::ConflictInterval) {
-          // Linear back-off (CaDiCaL lineage): each completed round earns
-          // the DB a longer leash before the next one.
-          ++reduce_rounds_;
-          next_reduce_conflicts_ = stats_.conflicts +
-                                   config_.reduce_interval_base +
-                                   config_.reduce_interval_inc * reduce_rounds_;
-        } else {
-          max_learnts_ *= 1.2;
-        }
-      }
+      maybe_reduce();
 
       // Take pending assumptions as pseudo-decisions first.
       Lit next = kUndefLit;
@@ -1783,7 +1936,10 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
               }
             }
           }
-          backtrack(0);
+          // Lazy exit: levels 1..decision_level() are all assumption
+          // levels here (the failing assumption was never taken), so the
+          // whole standing prefix is retainable for the next call.
+          exit_backtrack();
           return SolveResult::Unsat;
         } else {
           next = a;
@@ -1798,7 +1954,9 @@ SolveResult CdclSolver::solve(const SolveBudget& budget,
           // their representatives.
           model_.assign(assigns_.begin(), assigns_.end());
           if (!reconstruction_.empty()) extend_model();
-          backtrack(0);
+          // Lazy exit: unwind the branch levels, keep the assumption
+          // prefix (model_ was captured above, so the unwind is safe).
+          exit_backtrack();
           return SolveResult::Sat;
         }
         ++stats_.decisions;
@@ -1816,7 +1974,9 @@ CdclSolver::ProbeResult CdclSolver::probe_assumptions(
     result.refuted = true;
     return result;
   }
-  backtrack(0);
+  // Probing branches from a clean root, so discard any trail prefix a
+  // previous solve() retained (and its reuse bookkeeping with it).
+  lazy_root_backtrack();
   if (propagate().valid()) {
     ok_ = false;  // level-0 conflict: unsat outright
     result.refuted = true;

@@ -246,6 +246,27 @@ struct SolverConfig {
   /// (linear back-off, CaDiCaL/Glucose style).
   std::int64_t reduce_interval_inc = 300;
 
+  // ---- incremental hot path (chrono backtracking + trail reuse) ----
+  /// Chronological backtracking (CaDiCaL/MapleLCM lineage): when the 1UIP
+  /// backjump would discard more than this many decision levels, undo only
+  /// the conflicting level instead and keep the rest of the trail — the
+  /// asserting literal is enqueued one level down and the skipped levels'
+  /// propagations are never re-derived. Applies to the clausal analysis
+  /// path only (a PB resolvent assertive at its backjump level need not
+  /// propagate higher up, and unit learnts must reach level 0). The trail
+  /// stays level-monotone because assignments record their enqueue-time
+  /// decision level, so analyze()/analyze_final()/LBD scans run unchanged.
+  /// <= 0 disables (always jump to the assertion level).
+  std::int64_t chrono_threshold = 100;
+  /// Keep the assumption-implied trail prefix alive across solve() calls:
+  /// the next solve() under assumptions sharing a prefix with the previous
+  /// call's backtracks only to the first differing assumption instead of
+  /// level 0. Quiescence becomes lazy — clone()/inprocess()/add_clause()/
+  /// add_pb()/reconfigure() discard the retained prefix on entry. This is
+  /// what makes optimizer probe ladders and sibling cube solves nearly
+  /// free to re-enter.
+  bool reuse_trail = true;
+
   // ---- inprocessing (restart-boundary simplification) ----
   /// What the restart-boundary inprocessor does (see InprocessMode).
   InprocessMode inprocess = InprocessMode::Viv;
@@ -356,11 +377,13 @@ class CdclSolver final : public SolverEngine {
   CdclSolver(const CdclSolver& other) = default;
   CdclSolver& operator=(const CdclSolver&) = delete;
 
-  /// Add a clause after construction (level-0 only; used by the
-  /// optimization loop to strengthen objective bounds between calls).
-  /// Returns false if the addition makes the instance trivially unsat.
+  /// Add a clause after construction (used by the optimization loop to
+  /// strengthen objective bounds between calls). Discards any retained
+  /// assumption trail first (lazy root backtrack), so the addition always
+  /// happens at level 0. Returns false if the addition makes the instance
+  /// trivially unsat.
   bool add_clause(Clause clause) override;
-  /// Add a PB constraint after construction (level-0 only).
+  /// Add a PB constraint after construction (same lazy-backtrack entry).
   bool add_pb(PbConstraint constraint) override;
 
   /// Solve under optional assumptions. Returns Unknown when a resource
@@ -370,9 +393,15 @@ class CdclSolver final : public SolverEngine {
   /// config.conflict_budget (tighter wins); asynchronous conditions are
   /// polled on a coarse cadence (every 256 search steps), so interrupt
   /// latency is bounded by that many conflicts. Can be called repeatedly;
-  /// learned clauses persist across calls. Every exit path backtracks to
-  /// level 0 first, so no assumption state survives the call and clone()
-  /// right after is always valid.
+  /// learned clauses persist across calls. Quiescence is lazy under
+  /// config.reuse_trail: every exit path retains at most the
+  /// assumption-implied trail prefix (levels 1..k mirror the call's first
+  /// k assumptions, each a propagation fixpoint), and the next solve()
+  /// keeps the longest prefix matching its own assumptions instead of
+  /// re-propagating it. clone()/inprocess()/add_clause()/add_pb()/
+  /// reconfigure() discard the retained prefix on entry, so observable
+  /// root-state behavior is unchanged from the eager backtrack-to-0
+  /// contract.
   ///
   /// Entry poll / stale interrupts: solve() polls the budget before doing
   /// ANY work, and it never clears the budget's interrupt flag — the flag
@@ -410,7 +439,12 @@ class CdclSolver final : public SolverEngine {
   }
 
   [[nodiscard]] std::unique_ptr<SolverEngine> clone() const override {
-    return std::make_unique<CdclSolver>(*this);
+    auto copy = std::make_unique<CdclSolver>(*this);
+    // Lazy-quiescence normalization: a retained assumption trail on `this`
+    // is consequences of formula + previous assumptions; the clone must
+    // start at level 0 holding consequences of the formula alone.
+    copy->lazy_root_backtrack();
+    return copy;
   }
 
   // ---- portfolio hooks ----
@@ -428,9 +462,11 @@ class CdclSolver final : public SolverEngine {
   /// cadence as the deadline and returns Unknown once it is set.
   void set_interrupt(const std::atomic<bool>* stop) { hooks_.stop = stop; }
   /// Swap the configuration of a live solver (the portfolio diversifies
-  /// clones this way). Learned clauses, activities and saved phases are
-  /// kept; the RNG is reseeded from the new config and the restart/reduce
-  /// schedule state is re-armed. Phase diversification via default_phase
+  /// clones this way). Discards any retained assumption trail first (lazy
+  /// root backtrack — this is the normalization step of the clone-then-
+  /// reconfigure worker-spawn paths). Learned clauses, activities and
+  /// saved phases are kept; the RNG is reseeded from the new config and
+  /// the restart/reduce schedule state is re-armed. Phase diversification via default_phase
   /// therefore only bites with phase_saving off (saved polarities win
   /// otherwise).
   void reconfigure(const SolverConfig& config) override;
@@ -728,6 +764,28 @@ class CdclSolver final : public SolverEngine {
     return 1u << (static_cast<std::uint32_t>(level(v)) & 31u);
   }
   void backtrack(int target_level);
+  /// Discard any retained assumption trail: unwind to level 0 and forget
+  /// the previous solve's assumption vector. Every mutation entry point
+  /// (add_clause/add_pb/reconfigure/inprocess) and clone normalization
+  /// funnels through here — the "lazy" half of the quiescence contract.
+  void lazy_root_backtrack();
+  /// Exit-path unwind of solve(): with config_.reuse_trail, keep the
+  /// assumption-level prefix of the trail alive (levels 1..k, k =
+  /// min(decision_level, #assumptions)) and truncate prev_asms_ to match;
+  /// otherwise backtrack to level 0.
+  void exit_backtrack();
+  /// Restart-boundary housekeeping in one fixed order: foreign-constraint
+  /// import drain, the conflict-cadence inprocessing hook (with the
+  /// assumption re-remap a Full round requires), then the reduce_db
+  /// cadence check. No-op above level 0 — a retained-trail solve entry
+  /// skips it and catches up at the first real restart, which unwinds to
+  /// level 0 first. Returns false when level-0 unsatisfiability was
+  /// derived.
+  bool on_restart(const SolveBudget& budget,
+                  std::span<const Lit> assumptions,
+                  std::span<const Lit>* asms);
+  /// Fire reduce_db() when the configured scheme's trigger holds.
+  void maybe_reduce();
   Lit pick_branch();
   void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
 
@@ -905,14 +963,22 @@ class CdclSolver final : public SolverEngine {
   /// subst_ for internal use (member so mid-solve Full rounds can re-remap
   /// in place).
   std::vector<Lit> mapped_assumptions_;
+  /// Trail reuse: the mapped assumption vector of the most recent solve().
+  /// Invariant: for k < min(decision_level(), prev_asms_.size()), level
+  /// k+1 of the trail was opened for assumption prev_asms_[k] (as a
+  /// pseudo-decision, or as a dummy level when the assumption was already
+  /// implied). backtrack() only pops levels, so the invariant survives any
+  /// partial unwind; lazy_root_backtrack() clears both sides at once.
+  std::vector<Lit> prev_asms_;
   /// Fill in model_ values for substituted-away variables by replaying
   /// reconstruction_ backwards. Called on every Sat exit.
   void extend_model();
 
   std::vector<LBool> model_;
   std::vector<Lit> core_;  // failed-assumption core of the last Unsat
-  /// Record a budgeted exit (trip kind + stats counter) and unwind to
-  /// level 0; every Unknown return of solve() funnels through this.
+  /// Record a budgeted exit (trip kind + stats counter) and unwind via
+  /// exit_backtrack(); every Unknown return of solve() funnels through
+  /// this.
   SolveResult budget_exit(BudgetTrip trip);
   BudgetTrip last_trip_ = BudgetTrip::None;
   bool ok_ = true;  // false once level-0 conflict derived

@@ -361,7 +361,9 @@ SolveResult CubeAndConquerSolver::solve(const SolveBudget& budget,
   }
   if (faults[0]) {
     // Master died mid-cube: rebuild it from a surviving clone (sound —
-    // a quiescent clone holds only consequences of the shared formula).
+    // a quiescent clone holds only consequences of the shared formula;
+    // any trail prefix the survivor retained across its last cube solve
+    // is discarded by reconfigure()'s lazy root backtrack).
     for (int i = 1; i < n; ++i) {
       if (faults[static_cast<std::size_t>(i)]) continue;
       master_ = std::make_unique<CdclSolver>(

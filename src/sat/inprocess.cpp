@@ -81,7 +81,10 @@ RootPbReduction reduce_pb_at_root(std::span<const PbTerm> terms,
 
 std::int64_t CdclSolver::inprocess(const SolveBudget& budget) {
   if (config_.inprocess == InprocessMode::Off || !ok_) return 0;
-  backtrack(0);
+  // The inprocessor requires root level and may substitute variables out
+  // of the alphabet, which would invalidate a retained assumption trail —
+  // the lazy backtrack discards the prefix and its reuse bookkeeping.
+  lazy_root_backtrack();
   Inprocessor ip(*this);
   return ip.run(budget);
 }

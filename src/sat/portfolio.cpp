@@ -313,7 +313,10 @@ SolveResult PortfolioSolver::solve(const SolveBudget& budget,
   // Master recovery: if worker 0 died, rebuild the master from a
   // surviving clone before this solve returns. Sound because a quiescent
   // clone holds only consequences of the same shared formula; the copy is
-  // re-based onto the master personality.
+  // re-based onto the master personality. The survivor may have exited
+  // its solve with a retained assumption-trail prefix (trail reuse) —
+  // reconfigure() performs the lazy root backtrack, so the rebuilt
+  // master is quiescent regardless.
   const auto repair_master = [&] {
     if (!faults[0]) return;
     for (int i = 1; i < n; ++i) {

@@ -151,6 +151,18 @@ struct SolverStats {
   /// Unknown exits because interrupt() fired (async preemption or the
   /// portfolio's cooperative stop flag).
   std::int64_t interrupt_exits = 0;
+
+  // ---- incremental hot path (chronological backtracking + trail reuse) ----
+  /// Conflicts resolved by undoing only the conflicting level instead of
+  /// jumping all the way back to the 1UIP assertion level.
+  std::int64_t chrono_backtracks = 0;
+  /// Trail literals kept alive across solve() calls because the new
+  /// assumption vector shared a prefix with the previous call's.
+  std::int64_t reused_trail_literals = 0;
+  /// Trail literals between the 1UIP assertion level and the conflicting
+  /// level that a chronological backtrack did not undo — assignments the
+  /// solver would otherwise have discarded and re-derived.
+  std::int64_t saved_propagations = 0;
 };
 
 namespace detail {
@@ -200,6 +212,9 @@ void for_each_stat(SolverStats& into, const SolverStats& from, F&& f) {
   f(into.conflict_budget_exits, from.conflict_budget_exits);
   f(into.prop_budget_exits, from.prop_budget_exits);
   f(into.interrupt_exits, from.interrupt_exits);
+  f(into.chrono_backtracks, from.chrono_backtracks);
+  f(into.reused_trail_literals, from.reused_trail_literals);
+  f(into.saved_propagations, from.saved_propagations);
 }
 
 }  // namespace detail
@@ -280,18 +295,26 @@ class SolverEngine {
  public:
   virtual ~SolverEngine() = default;
 
-  /// Add a clause between solves (level-0 only). Returns false if the
-  /// addition makes the instance trivially unsat.
+  /// Add a clause between solves. A retained assumption trail from the
+  /// previous solve() is lazily discarded first (see solve()), so the
+  /// addition always happens at level 0. Returns false if the addition
+  /// makes the instance trivially unsat.
   virtual bool add_clause(Clause clause) = 0;
-  /// Add a PB constraint between solves (level-0 only).
+  /// Add a PB constraint between solves (same lazy-backtrack entry as
+  /// add_clause()).
   virtual bool add_pb(PbConstraint constraint) = 0;
 
   /// Solve under optional assumptions. Returns Unknown when the budget
   /// ends the solve early — wall clock, conflict or propagation cap, or
   /// an asynchronous interrupt(); last_trip() reports which. Can be called
-  /// repeatedly; learned state persists across calls. No assumption state
-  /// outlives the call: on return the solver is quiescent (clone() is
-  /// valid) and a later solve() with different assumptions starts clean.
+  /// repeatedly; learned state persists across calls. Quiescence is lazy:
+  /// an engine may keep the assumption-implied trail prefix alive across
+  /// the return so the next solve() with a shared assumption prefix skips
+  /// re-propagating it, but every observable entry point that needs root
+  /// state — clone(), inprocess(), add_clause()/add_pb(), reconfigure() —
+  /// discards the retained prefix first, so callers see the same behavior
+  /// as an eager backtrack-to-0. Retained state is always a consequence of
+  /// formula + previous assumptions, never of a budget or answer.
   /// (A bare Deadline still converts implicitly to a SolveBudget.)
   virtual SolveResult solve(const SolveBudget& budget = {},
                             std::span<const Lit> assumptions = {}) = 0;
@@ -336,13 +359,17 @@ class SolverEngine {
   }
 
   /// Deep copy of the full solver state — constraints, learned clauses,
-  /// activities, saved phases, trail prefix. Must only be called at a
-  /// quiescent point (between solve() calls). The clone is independent:
-  /// solving one never touches the other.
+  /// activities, saved phases, root trail. Must only be called at a
+  /// quiescent point (between solve() calls). The copy performs the lazy
+  /// root backtrack, so a retained assumption trail on `this` never leaks
+  /// into the clone: the clone starts at level 0 holding only consequences
+  /// of the formula. The clone is independent: solving one never touches
+  /// the other.
   [[nodiscard]] virtual std::unique_ptr<SolverEngine> clone() const = 0;
 
   /// Swap the configuration of a live engine at a quiescent point, keeping
-  /// learned state (clauses, activities, saved phases). This is what makes
+  /// learned state (clauses, activities, saved phases). Discards any
+  /// retained assumption trail first (lazy backtrack). This is what makes
   /// warm-start caching work: a service clones a preprocessed master and
   /// then reconfigures the clone with the request's own knobs (budget
   /// personality, fault injection, thread count is fixed at construction)

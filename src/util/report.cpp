@@ -66,4 +66,15 @@ std::string format_inprocess_line(const SolverStats& stats) {
   return buf;
 }
 
+std::string format_incremental_line(const SolverStats& stats) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "incremental: %lld chrono backtracks, "
+                "%lld reused trail literals, %lld saved propagations",
+                static_cast<long long>(stats.chrono_backtracks),
+                static_cast<long long>(stats.reused_trail_literals),
+                static_cast<long long>(stats.saved_propagations));
+  return buf;
+}
+
 }  // namespace symcolor

@@ -48,4 +48,10 @@ inline constexpr int kExitUsage = 3;
 /// 0, i.e. never under --inprocess off).
 [[nodiscard]] std::string format_inprocess_line(const SolverStats& stats);
 
+/// "incremental: N chrono backtracks, N reused trail literals, N saved
+/// propagations" — the incremental hot-path summary (chronological
+/// backtracking + assumption-trail reuse), printed only when at least one
+/// counter is nonzero (e.g. never with --chrono 0 on a one-shot solve).
+[[nodiscard]] std::string format_incremental_line(const SolverStats& stats);
+
 }  // namespace symcolor

@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--fail-below RATIO]
-                           [--filter SUBSTRING]
+                           [--filter SUBSTRING ...]
 
 Each input is the flat JSON array bench_micro emits (see bench/bench_micro.cpp):
     [{"name": ..., "n": ..., "reps": ..., "ns_per_op": ...,
@@ -15,13 +15,21 @@ new/old for propagations_per_sec where both runs report it. Benchmarks
 present in only one file are listed separately so a renamed or dropped
 benchmark never silently vanishes from the comparison.
 
+--filter may be repeated; a benchmark is compared when its name contains
+ANY of the given substrings (no --filter compares everything), so a CI
+smoke step can gate all its benchmarks in one invocation and one table.
+The table ends with a geometric-mean summary row over the matched
+speedups — the single headline number for "did this change pay off".
+
 With --fail-below R the exit status is 1 if any matched benchmark's
 time-based speedup falls below R (e.g. --fail-below 0.9 fails the run on
-a >10% regression), which lets CI gate on it directly.
+a >10% regression), which lets CI gate on it directly. The geomean row is
+informational only; the gate stays on the worst case.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -63,16 +71,21 @@ def main():
     )
     parser.add_argument(
         "--filter",
-        default="",
-        help="only compare benchmarks whose name contains this substring",
+        action="append",
+        default=None,
+        help="only compare benchmarks whose name contains this substring; "
+        "repeatable (a name matching ANY pattern is kept)",
     )
     args = parser.parse_args()
 
+    def matches(name):
+        return args.filter is None or any(p in name for p in args.filter)
+
     old = load(args.old)
     new = load(args.new)
-    names = [n for n in old if n in new and args.filter in n]
-    only_old = [n for n in old if n not in new and args.filter in n]
-    only_new = [n for n in new if n not in old and args.filter in n]
+    names = [n for n in old if n in new and matches(n)]
+    only_old = [n for n in old if n not in new and matches(n)]
+    only_new = [n for n in new if n not in old and matches(n)]
 
     if not names:
         print("no matching benchmarks between the two files", file=sys.stderr)
@@ -81,10 +94,13 @@ def main():
     width = max(len(n) for n in names)
     print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'speedup':>8}")
     worst = None
+    speedups = []
     for name in names:
         o, n = old[name], new[name]
         speedup = o["ns_per_op"] / n["ns_per_op"] if n["ns_per_op"] else 0.0
         worst = speedup if worst is None else min(worst, speedup)
+        if speedup > 0.0:
+            speedups.append(speedup)
         line = (
             f"{name:<{width}}  {fmt_time(o['ns_per_op']):>10}  "
             f"{fmt_time(n['ns_per_op']):>10}  {speedup:>7.2f}x"
@@ -96,6 +112,13 @@ def main():
                 f" -> {fmt_rate(n['propagations_per_sec'])} ({rate:.2f}x)"
             )
         print(line)
+
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(
+            f"{'geomean (' + str(len(speedups)) + ' benchmarks)':<{width}}  "
+            f"{'':>10}  {'':>10}  {geomean:>7.2f}x"
+        )
 
     for name in only_old:
         print(f"{name:<{width}}  only in {args.old}")

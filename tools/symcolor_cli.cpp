@@ -20,6 +20,11 @@
 //   --inprocess <m> restart-boundary inprocessing: off | viv | full
 //                   (default viv; full adds equivalent-literal
 //                   substitution — the answer is identical in every mode)
+//   --chrono <n>    chronological-backtracking threshold: backjumps
+//                   longer than n levels undo only the conflicting level
+//                   (0 = always full backjump; default is the solver
+//                   profile's, currently 100; answers are identical at
+//                   every setting)
 //   --decision      K-colorability query instead of minimization
 //   --simplify      pre-solve simplification (units, pures, subsumption)
 //   --satloop       pure-CNF SAT-loop pipeline instead of native PB
@@ -76,7 +81,7 @@ void usage() {
                "usage: symcolor_cli [-k K] [--sbp row] [--shatter] "
                "[--solver s] [--search linear|binary|core]\n"
                "                    [--threads n] [--cube-depth n] "
-               "[--inprocess off|viv|full]\n"
+               "[--inprocess off|viv|full] [--chrono n]\n"
                "                    [--decision] [--satloop] [--opb file] "
                "[--stats]\n"
                "                    (<graph.col> | --instance <name>)\n"
@@ -131,6 +136,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   int cube_depth = 0;
   InprocessMode inprocess = InprocessMode::Viv;
+  long long chrono = -1;  // < 0 = keep the solver profile's default
   double timeout = 0.0;
   long long conflict_budget = 0;
   long long prop_budget = 0;
@@ -181,6 +187,10 @@ int main(int argc, char** argv) {
       const auto parsed = v != nullptr ? parse_inprocess(v) : std::nullopt;
       if (!parsed) { usage(); return kExitUsage; }
       inprocess = *parsed;
+    } else if (arg == "--chrono") {
+      const char* v = next();
+      if (v == nullptr || std::atoll(v) < 0) { usage(); return kExitUsage; }
+      chrono = std::atoll(v);
     } else if (arg == "--timeout") {
       const char* v = next();
       if (v == nullptr) { usage(); return kExitUsage; }
@@ -276,6 +286,7 @@ int main(int argc, char** argv) {
     options.solver.portfolio_threads = threads;
     options.solver.cube_depth = cube_depth;
     options.solver.inprocess = inprocess;
+    if (chrono >= 0) options.solver.chrono_threshold = chrono;
     options.budget = &run_budget;
     const SatLoopResult r = solve_coloring_sat_loop(graph, options);
     if (r.status == OptStatus::Optimal) {
@@ -300,6 +311,7 @@ int main(int argc, char** argv) {
   options.threads = threads;
   options.cube_depth = cube_depth;
   options.inprocess = inprocess;
+  options.chrono_threshold = chrono;
   options.presimplify = presimplify;
   options.budget = &run_budget;
   const ColoringOutcome r =
@@ -331,6 +343,13 @@ int main(int argc, char** argv) {
     if (r.solver_stats_all.inprocess_rounds > 0) {
       std::printf("%s\n",
                   format_inprocess_line(r.solver_stats_all).c_str());
+    }
+    if (r.solver_stats_all.chrono_backtracks > 0 ||
+        r.solver_stats_all.reused_trail_literals > 0) {
+      // Incremental hot path: only interesting when it fired (a one-shot
+      // solve with --chrono 0 never touches these counters).
+      std::printf("%s\n",
+                  format_incremental_line(r.solver_stats_all).c_str());
     }
     std::printf("%s\n",
                 format_budget_line(r.tripped, r.solver_stats).c_str());

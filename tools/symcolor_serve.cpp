@@ -428,6 +428,14 @@ int main(int argc, char** argv) {
           stderr, "%s\n",
           format_inprocess_line(final_stats.solver_totals).c_str());
     }
+    if (final_stats.solver_totals.chrono_backtracks > 0 ||
+        final_stats.solver_totals.reused_trail_literals > 0) {
+      // Same conditional convention as the CLI: the incremental hot-path
+      // line appears only when the feature actually fired.
+      std::fprintf(
+          stderr, "%s\n",
+          format_incremental_line(final_stats.solver_totals).c_str());
+    }
     std::fprintf(stderr, "%s\n",
                  format_budget_line(serve_trip, final_stats.solver_totals)
                      .c_str());
